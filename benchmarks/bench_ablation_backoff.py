@@ -1,0 +1,23 @@
+"""abl-backoff — the contention back-off and overhearing suppression.
+
+The paper's back-off (shorter for better-provisioned senders, cancelled
+when an event of interest arrives) is what keeps duplicates near one per
+minute.  Removing suppression, or the back-off entirely, must not improve
+the duplicate count.
+"""
+
+from __future__ import annotations
+
+from common import publish, scale
+from repro.harness.experiments import ablation_backoff
+
+
+def test_ablation_backoff(benchmark):
+    result = benchmark.pedantic(ablation_backoff, args=(scale(),),
+                                rounds=1, iterations=1)
+    publish(result)
+    rows = {r["variant"]: r for r in result.rows}
+    full = rows["backoff+suppression"]
+    none = rows["no-backoff"]
+    assert full["duplicates"] <= none["duplicates"] * 1.25, \
+        "removing the back-off should not reduce duplicates"

@@ -1,0 +1,23 @@
+"""abl-gc — Equation-1 eviction vs FIFO / random / remaining-validity.
+
+DESIGN.md calls out the eviction policy as a core design choice: under
+memory pressure the policy decides which events survive to be
+re-disseminated at future encounters.  Equation 1 protects short-validity,
+rarely-forwarded events (they still have work to do) at the expense of
+long-validity, much-forwarded ones.
+"""
+
+from __future__ import annotations
+
+from common import publish, scale
+from repro.harness.experiments import ablation_gc
+
+
+def test_ablation_gc(benchmark):
+    result = benchmark.pedantic(ablation_gc, args=(scale(),),
+                                rounds=1, iterations=1)
+    publish(result)
+    assert {r["policy"] for r in result.rows} == {
+        "validity-forward", "remaining-validity", "fifo", "random"}
+    for row in result.rows:
+        assert 0.0 <= row["reliability"] <= 1.0

@@ -1,0 +1,22 @@
+"""abl-ids — exchanging event identifiers first vs pushing events blindly.
+
+Sending 16-byte ids before 400-byte events is the paper's key bandwidth
+lever: a neighbour that already holds the events costs one id list instead
+of the payloads.  The blind-push variant must pay for it in duplicates
+and/or bandwidth.
+"""
+
+from __future__ import annotations
+
+from common import publish, scale
+from repro.harness.experiments import ablation_ids
+
+
+def test_ablation_ids(benchmark):
+    result = benchmark.pedantic(ablation_ids, args=(scale(),),
+                                rounds=1, iterations=1)
+    publish(result)
+    with_ids = result.filter(id_exchange=True)[0]
+    blind = result.filter(id_exchange=False)[0]
+    assert with_ids["duplicates"] <= blind["duplicates"] * 1.25, \
+        "dropping the id exchange should not reduce duplicates"

@@ -1,0 +1,28 @@
+"""Fig. 11 — reliability vs (speed x validity) at 20 % / 80 % interest.
+
+Paper anchors: at 80 % interest, 10 m/s with 180 s validity reaches ~95 %
+reliability, matching 30 m/s with 90 s; at 20 % interest the 25 km² area
+is too sparse for high reliability at low speed.
+"""
+
+from __future__ import annotations
+
+from common import publish, publish_text, scale
+from repro.harness.experiments import fig11
+from repro.harness.reporting import reliability_grid
+
+
+def test_fig11(benchmark):
+    result = benchmark.pedantic(fig11, args=(scale(),),
+                                rounds=1, iterations=1)
+    publish(result)
+    for interest in (0.2, 0.8):
+        grid = reliability_grid(result, row_key="speed",
+                                col_key="validity", interest=interest)
+        publish_text(f"fig11 reliability grid at interest="
+                     f"{interest:.0%}:\n{grid}")
+    # Shape assertions (the paper's qualitative claims).
+    high = [r["reliability"] for r in result.filter(interest=0.8)]
+    low = [r["reliability"] for r in result.filter(interest=0.2)]
+    assert sum(high) / len(high) >= sum(low) / len(low), \
+        "80% interest should dominate 20% (sparse-network effect)"

@@ -1,0 +1,26 @@
+"""Fig. 14 — city-section reliability vs subscriber fraction.
+
+Paper anchors (validity 150 s, heartbeat bound 1 s): 20 % -> 58.1 %,
+40 % -> 59.7 %, 60 % -> 62.5 %, 80 % -> 68.6 %, 100 % -> 76.9 %.  Unlike
+the random-waypoint model, even 20 % subscribers reach decent reliability
+because constrained streets create meeting hot-spots.
+"""
+
+from __future__ import annotations
+
+from common import publish, scale
+from repro.harness.experiments import fig14
+
+PAPER_ROWS = {0.2: 0.581, 0.4: 0.597, 0.6: 0.625, 0.8: 0.686, 1.0: 0.769}
+
+
+def test_fig14(benchmark):
+    result = benchmark.pedantic(fig14, args=(scale(),),
+                                rounds=1, iterations=1)
+    for row in result.rows:
+        row["paper"] = PAPER_ROWS.get(row["interest"], float("nan"))
+    publish(result)
+    by_interest = {r["interest"]: r["reliability"] for r in result.rows}
+    assert by_interest[max(by_interest)] >= \
+        by_interest[min(by_interest)] - 0.05, \
+        "more subscribers should not hurt reliability"

@@ -1,0 +1,24 @@
+"""Fig. 15 — max-min reliability spread across publishers (city section).
+
+Paper anchors: the spread between the best- and worst-placed original
+publisher is large — 40.9 % at 20 % subscribers up to 60.0 % at 100 % —
+because the path a publisher drives determines whom it can seed.
+"""
+
+from __future__ import annotations
+
+from common import publish, scale
+from repro.harness.experiments import fig15
+
+PAPER_ROWS = {0.2: 0.409, 0.4: 0.447, 0.6: 0.479, 0.8: 0.539, 1.0: 0.600}
+
+
+def test_fig15(benchmark):
+    result = benchmark.pedantic(fig15, args=(scale(),),
+                                rounds=1, iterations=1)
+    for row in result.rows:
+        row["paper"] = PAPER_ROWS.get(row["interest"], float("nan"))
+    publish(result)
+    # Shape: publisher identity must matter (non-trivial spread somewhere).
+    assert max(result.column("spread")) > 0.0, \
+        "city-section publishers should differ in achieved reliability"

@@ -1,0 +1,26 @@
+"""Fig. 16 — city-section reliability vs event validity period.
+
+Paper anchors (heartbeat bound 1 s, 100 % subscribers): 25 s -> 11 %,
+50 s -> 27 %, 75 s -> 44 %, 100 s -> 52 %, 125 s -> 69 %, 150 s -> 77 %.
+Validity is the dominant factor: processes meet at social hot-spots, so
+events must live long enough to reach the next encounter.
+"""
+
+from __future__ import annotations
+
+from common import publish, scale
+from repro.harness.experiments import fig16
+
+PAPER_ROWS = {25.0: 0.11, 50.0: 0.27, 75.0: 0.44, 100.0: 0.52,
+              125.0: 0.69, 150.0: 0.77}
+
+
+def test_fig16(benchmark):
+    result = benchmark.pedantic(fig16, args=(scale(),),
+                                rounds=1, iterations=1)
+    for row in result.rows:
+        row["paper"] = PAPER_ROWS.get(row["validity"], float("nan"))
+    publish(result)
+    by_validity = {r["validity"]: r["reliability"] for r in result.rows}
+    assert by_validity[max(by_validity)] >= by_validity[min(by_validity)], \
+        "longer validity must not reduce reliability"

@@ -1,0 +1,30 @@
+"""Fig. 17 — bandwidth used per process vs (#events x interest).
+
+Paper anchors: the frugal protocol saves 300-450 % of the bandwidth of the
+flooding variants at equal reliability; interests-aware flooding only wins
+in the corner where total event volume is under ~1.5 kB and interest
+<= 20 %.  Figs. 17-19 are three views of one simulation campaign, so the
+sweep is computed once and shared (see benchmarks/common.py).
+"""
+
+from __future__ import annotations
+
+from common import publish, shared_frugality_sweep, view
+from repro.harness.experiments import FIG17_PROTOCOLS
+
+
+def test_fig17(benchmark):
+    sweep = benchmark.pedantic(
+        shared_frugality_sweep, args=(FIG17_PROTOCOLS,),
+        rounds=1, iterations=1)
+    result = view(sweep, "fig17",
+                  "Bandwidth used per process (random waypoint, 10 m/s)",
+                  "bandwidth_bytes")
+    publish(result)
+    # Shape: at the largest workload the frugal protocol wins on bandwidth.
+    events = max(result.column("events"))
+    frugal = result.filter(protocol="frugal", events=events, interest=1.0)
+    flood = result.filter(protocol="simple-flooding", events=events,
+                          interest=1.0)
+    assert frugal[0]["bandwidth_bytes"] < flood[0]["bandwidth_bytes"] / 3, \
+        "paper reports a 300-450% bandwidth saving"

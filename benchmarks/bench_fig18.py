@@ -1,0 +1,29 @@
+"""Fig. 18 — events sent per process vs (#events x interest).
+
+Paper anchor: the frugal protocol sends 50-100x fewer event transmissions
+than any flooding variant (flooders rebroadcast every second for the whole
+validity; the frugal protocol transmits only when a neighbour provably
+lacks an event).
+"""
+
+from __future__ import annotations
+
+from common import publish, shared_frugality_sweep, view
+from repro.harness.experiments import FIG18_PROTOCOLS
+
+
+def test_fig18(benchmark):
+    sweep = benchmark.pedantic(
+        shared_frugality_sweep, args=(FIG18_PROTOCOLS,),
+        rounds=1, iterations=1)
+    result = view(sweep, "fig18",
+                  "Events sent per process (random waypoint, 10 m/s)",
+                  "events_sent")
+    publish(result)
+    events = max(result.column("events"))
+    frugal = result.filter(protocol="frugal", events=events,
+                           interest=1.0)[0]
+    flood = result.filter(protocol="simple-flooding", events=events,
+                          interest=1.0)[0]
+    assert frugal["events_sent"] * 10 < flood["events_sent"], \
+        "paper reports 50-100x fewer event transmissions"

@@ -1,0 +1,31 @@
+"""Fig. 20 — parasite events received per process vs (#events x interest).
+
+Paper anchors: the frugal protocol induces 20-50x fewer parasite events
+than the shown flooding variants (and up to 800x fewer than simple
+flooding); parasites peak around 60 % interest — enough traffic to leak,
+enough non-subscribers to receive it — and fall as interest approaches
+100 %.
+"""
+
+from __future__ import annotations
+
+from common import publish, shared_frugality_sweep, view
+from repro.harness.experiments import FIG20_PROTOCOLS
+
+
+def test_fig20(benchmark):
+    sweep = benchmark.pedantic(
+        shared_frugality_sweep, args=(FIG20_PROTOCOLS,),
+        rounds=1, iterations=1)
+    result = view(sweep, "fig20",
+                  "Parasite events received per process (random waypoint, "
+                  "10 m/s)", "parasites")
+    publish(result)
+    events = max(result.column("events"))
+    interest = sorted(result.column("interest"))[1]   # a middle fraction
+    frugal = result.filter(protocol="frugal", events=events,
+                           interest=interest)[0]
+    flood = result.filter(protocol="interest-flooding", events=events,
+                          interest=interest)[0]
+    assert frugal["parasites"] * 5 < flood["parasites"], \
+        "paper reports a 20-50x parasite reduction"

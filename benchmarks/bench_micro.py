@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the substrate: kernel, spatial index, topics,
+event table and medium.  These are real pytest-benchmark timings (many
+rounds), unlike the figure benches which time one experiment sweep."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.events import Event, EventId
+from repro.core.tables import EventTable
+from repro.core.topics import Topic, subscriptions_related
+from repro.net.medium import WirelessMedium
+from repro.net.messages import Heartbeat
+from repro.net.radio import RadioConfig
+from repro.sim.kernel import Simulator
+from repro.sim.space import SpatialGrid, Vec2
+
+
+def test_kernel_schedule_run_throughput(benchmark):
+    def run_1000_events():
+        sim = Simulator()
+        for i in range(1000):
+            sim.schedule(float(i % 100), lambda: None)
+        sim.run_until_idle()
+        return sim.events_processed
+
+    assert benchmark(run_1000_events) == 1000
+
+
+def test_spatial_grid_query(benchmark):
+    rng = random.Random(1)
+    grid = SpatialGrid(cell_size=442.0)
+    for i in range(150):
+        grid.insert(i, Vec2(rng.uniform(0, 5000), rng.uniform(0, 5000)))
+    center = Vec2(2500.0, 2500.0)
+
+    found = benchmark(grid.query_radius, center, 442.0)
+    assert isinstance(found, list)
+
+
+def test_topic_matching(benchmark):
+    mine = [Topic(".epfl.conferences.middleware"), Topic(".epfl.parking")]
+    theirs = [Topic(".epfl.conferences"), Topic(".epfl.cafeteria.menu"),
+              Topic(".city.transport")]
+
+    assert benchmark(subscriptions_related, mine, theirs) is True
+
+
+def test_event_table_store_evict_cycle(benchmark):
+    def churn():
+        table = EventTable(capacity=64)
+        for i in range(256):
+            e = Event(EventId(1, i), Topic(".t"),
+                      validity=10.0 + (i % 50), published_at=float(i))
+            row = table.store(e, now=float(i))
+            row.forward_count = i % 7
+        return len(table)
+
+    assert benchmark(churn) == 64
+
+
+def test_medium_broadcast_150_nodes(benchmark):
+    class Stub:
+        def __init__(self, node_id, pos):
+            self.id = node_id
+            self.pos = pos
+            self.alive = True
+        def position(self):
+            return self.pos
+        def receive(self, message):
+            pass
+
+    def broadcast_round():
+        sim = Simulator()
+        medium = WirelessMedium(
+            sim, RadioConfig.paper_random_waypoint(),
+            rng=random.Random(0))
+        rng = random.Random(1)
+        for i in range(150):
+            medium.register(Stub(i, Vec2(rng.uniform(0, 5000),
+                                         rng.uniform(0, 5000))))
+        hb = Heartbeat(sender=0, subscriptions=frozenset())
+        for i in range(0, 150, 10):
+            medium.broadcast(i, Heartbeat(sender=i,
+                                          subscriptions=frozenset()))
+        sim.run_until_idle()
+        return medium.frames_sent
+
+    assert benchmark(broadcast_round) == 15

@@ -1,0 +1,29 @@
+"""related-work — frugal vs the broadcast-storm schemes of Section 6.
+
+The paper argues (Section 6) that one-shot storm mitigation (probabilistic
+/ counter-based rebroadcast) does not fit MANET pub/sub: without
+store-and-forward over the validity period, processes outside the
+publisher's connected component at publish time never catch up.  This
+bench quantifies that: the storm schemes spend less bandwidth but cap out
+at whatever the instantaneous component covered.
+"""
+
+from __future__ import annotations
+
+from common import publish, scale
+from repro.harness.experiments import related_work_comparison
+
+
+def test_related_work(benchmark):
+    result = benchmark.pedantic(related_work_comparison, args=(scale(),),
+                                rounds=1, iterations=1)
+    publish(result)
+    rows = {r["protocol"]: r for r in result.rows}
+    # Storm schemes must not beat the frugal protocol on reliability...
+    assert rows["frugal"]["reliability"] >= \
+        rows["gossip-flooding"]["reliability"] - 0.05
+    assert rows["frugal"]["reliability"] >= \
+        rows["counter-flooding"]["reliability"] - 0.05
+    # ... and the frugal protocol stays far below simple flooding's cost.
+    assert rows["frugal"]["bandwidth_bytes"] < \
+        rows["simple-flooding"]["bandwidth_bytes"] / 3

@@ -1,0 +1,87 @@
+"""Shared infrastructure for the figure benchmarks.
+
+Every ``bench_figNN.py`` regenerates one of the paper's figures at the
+scale selected by ``REPRO_SCALE`` (quick by default, paper for the full
+grids) and:
+
+* prints the reproduced rows as an ASCII table (captured into
+  ``bench_output.txt`` when run with ``tee``),
+* writes the full rows (including std-dev columns) to
+  ``benchmarks/results/<figure>.csv`` for EXPERIMENTS.md bookkeeping.
+
+Figures 17-19 plot different metrics of the *same* simulation campaign
+(the paper ran one sweep and reported four views of it), so the underlying
+sweep is computed once per scale and shared across those benchmarks via
+:func:`shared_frugality_sweep`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+from typing import Dict, Tuple
+
+from repro.harness.experiments import (ExperimentResult,
+                                       frugality_comparison)
+from repro.harness.presets import Scale, get_scale
+from repro.harness.reporting import format_experiment, to_csv
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+_SWEEP_CACHE: Dict[Tuple[str, Tuple[str, ...]], ExperimentResult] = {}
+
+
+def scale() -> Scale:
+    return get_scale()
+
+
+def shared_frugality_sweep(protocols: Tuple[str, ...]) -> ExperimentResult:
+    """The Figs. 17-20 sweep, computed once per (scale, protocol set)."""
+    s = scale()
+    key = (s.name, tuple(sorted(protocols)))
+    cached = _SWEEP_CACHE.get(key)
+    if cached is None:
+        cached = frugality_comparison(s, protocols=protocols,
+                                      experiment_id="fig17-20",
+                                      title="Frugality sweep")
+        _SWEEP_CACHE[key] = cached
+    return cached
+
+
+def view(sweep: ExperimentResult, experiment_id: str, title: str,
+         metric: str) -> ExperimentResult:
+    """Project one figure's metric out of the shared sweep."""
+    result = ExperimentResult(experiment_id=experiment_id, title=title,
+                              parameters=dict(sweep.parameters))
+    for row in sweep.rows:
+        result.rows.append({
+            "protocol": row["protocol"], "events": row["events"],
+            "interest": row["interest"],
+            metric: row[metric], metric + "_std": row[metric + "_std"],
+            "reliability": row["reliability"]})
+    return result
+
+
+#: Tables rendered during this session; the conftest terminal-summary hook
+#: replays them after pytest's capture ends, so a plain
+#: ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+#: every reproduced figure.
+PUBLISHED: list = []
+
+
+def publish_text(text: str) -> None:
+    """Queue free-form text (e.g. a pivoted grid) for the end-of-session
+    replay alongside the figure tables."""
+    print("\n" + text, flush=True)
+    PUBLISHED.append(text)
+
+
+def publish(result: ExperimentResult) -> None:
+    """Render the table, persist CSV + .txt, and queue it for the
+    end-of-session replay."""
+    text = format_experiment(result)
+    print("\n" + text, flush=True)
+    PUBLISHED.append(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    to_csv(result, str(RESULTS_DIR / f"{result.experiment_id}.csv"))
+    (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")

@@ -1,0 +1,33 @@
+"""Benchmark-suite configuration.
+
+Puts the benchmarks directory on the import path (so ``common`` imports
+work regardless of invocation directory) and prints the active scale once.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from repro.harness.presets import get_scale   # noqa: E402
+
+
+def pytest_report_header(config):
+    scale = get_scale()
+    return (f"repro experiment scale: {scale.name} "
+            f"(REPRO_SCALE=paper for the full paper grids)")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Replay every reproduced figure after capture ends, so the tables
+    land in ``bench_output.txt`` without needing ``-s``."""
+    import common
+    if not common.PUBLISHED:
+        return
+    terminalreporter.write_sep("=", "reproduced figures")
+    for text in common.PUBLISHED:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

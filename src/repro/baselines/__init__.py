@@ -1,0 +1,23 @@
+"""The paper's three flooding comparators (Section 5.2, "Frugality").
+
+The paper quantifies frugality by comparing its protocol against three
+flooding variants on identical scenarios: simple flooding (everything,
+always), interests-aware flooding (only events the process wants) and
+neighbors'-interests flooding (only events the process wants *and* some
+neighbour wants).  All three rebroadcast on a 1-second period.
+"""
+
+from repro.baselines.base import FloodingProtocol
+from repro.baselines.simple_flooding import SimpleFlooding
+from repro.baselines.interest_flooding import InterestAwareFlooding
+from repro.baselines.neighbor_flooding import NeighborInterestFlooding
+from repro.baselines.storm import CounterFlooding, GossipFlooding
+
+__all__ = [
+    "FloodingProtocol",
+    "SimpleFlooding",
+    "InterestAwareFlooding",
+    "NeighborInterestFlooding",
+    "GossipFlooding",
+    "CounterFlooding",
+]

@@ -1,0 +1,172 @@
+"""Shared machinery of the paper's three flooding comparators (Section 5.2).
+
+All three variants rebroadcast events on a fixed period (the paper: "an
+event is sent every second"), differing only in *which* events a process
+stores and re-floods:
+
+* **simple flooding** — everything, irrespective of interests;
+* **interests-aware flooding** — only events the process itself subscribed
+  to;
+* **neighbors'-interests flooding** — only events the process subscribed to
+  *and* at least one current neighbour is interested in (which requires
+  heartbeats to learn neighbour interests).
+
+Common behaviour lives here: the periodic flood task, local storage with
+validity-based expiry, delivery to the application and duplicate dropping.
+Storage is *unbounded by default* — memory thrift is precisely what the
+frugal protocol adds; the paper's comparison charges the baselines their
+natural cost.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.core.base import PubSubProtocol
+from repro.core.events import Event, EventId
+from repro.core.topics import Topic, subscription_matches_event
+from repro.net.messages import EventBatch, Heartbeat, Message
+
+
+class FloodingProtocol(PubSubProtocol):
+    """Base class for the three flooding baselines.
+
+    Subclasses decide, via :meth:`_should_store` and
+    :meth:`_should_flood`, what enters the local store and what goes out
+    on each tick.
+    """
+
+    #: Rebroadcast period in seconds (the paper's "every one second").
+    flood_period: float = 1.0
+
+    def __init__(self, flood_period: float = 1.0,
+                 flood_jitter: float = 0.05):
+        super().__init__()
+        if flood_period <= 0:
+            raise ValueError(f"flood_period must be positive: {flood_period}")
+        self.flood_period = float(flood_period)
+        self.flood_jitter = float(flood_jitter)
+        self._subscriptions: Set[Topic] = set()
+        self._store: Dict[EventId, Event] = {}
+        self._delivered: Set[EventId] = set()
+        self._flood_task = None
+        self._running = False
+        # Counters symmetrical with FrugalPubSub's, for reporting.
+        self.batches_sent = 0
+        self.events_forwarded = 0
+        self.delivered_count = 0
+        self.duplicates_dropped = 0
+        self.parasites_dropped = 0
+
+    # -- application-facing API ------------------------------------------------
+
+    @property
+    def subscriptions(self) -> FrozenSet[Topic]:
+        return frozenset(self._subscriptions)
+
+    def subscribe(self, topic: Topic | str) -> None:
+        self._subscriptions.add(Topic(topic))
+
+    def unsubscribe(self, topic: Topic | str) -> None:
+        self._subscriptions.discard(Topic(topic))
+
+    def publish(self, event: Event) -> None:
+        if self.host is None:
+            raise RuntimeError("protocol is not attached to a host")
+        self._store[event.event_id] = event
+        self._deliver_if_subscribed(event)
+        self._flood_now([event])
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._running = True
+        self._flood_task = self.host.periodic(
+            self.flood_period, self._flood_tick, jitter=self.flood_jitter)
+
+    def on_stop(self) -> None:
+        self._running = False
+        if self._flood_task is not None:
+            self._flood_task.stop()
+            self._flood_task = None
+        self._store.clear()
+        self._delivered.clear()
+
+    # -- network-facing API ------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if not self._running:
+            return
+        if isinstance(message, EventBatch):
+            self._on_event_batch(message)
+        elif isinstance(message, Heartbeat):
+            self._on_heartbeat(message)
+
+    def _on_heartbeat(self, hb: Heartbeat) -> None:
+        """Only the neighbours'-interests variant listens to heartbeats."""
+
+    def _on_event_batch(self, msg: EventBatch) -> None:
+        now = self.host.now
+        for event in msg.events:
+            subscribed = subscription_matches_event(self._subscriptions,
+                                                    event.topic)
+            if not subscribed:
+                self.parasites_dropped += 1
+            if event.event_id in self._store:
+                if subscribed:
+                    self.duplicates_dropped += 1
+                continue
+            if not event.is_valid(now):
+                continue
+            if self._should_store(event, subscribed):
+                self._store[event.event_id] = event
+            if subscribed:
+                self._deliver_if_subscribed(event)
+
+    # -- flooding ------------------------------------------------------------------------
+
+    def _flood_tick(self) -> None:
+        now = self.host.now
+        # Expired events leave the store for good (they are of no use).
+        expired = [eid for eid, e in self._store.items()
+                   if not e.is_valid(now)]
+        for eid in expired:
+            del self._store[eid]
+        outgoing = [e for e in self._store.values() if self._should_flood(e)]
+        if outgoing:
+            self._flood_now(outgoing)
+
+    def _flood_now(self, events: List[Event]) -> None:
+        self.host.send(EventBatch(sender=self.host.id,
+                                  events=tuple(events)))
+        self.batches_sent += 1
+        self.events_forwarded += len(events)
+
+    def _deliver_if_subscribed(self, event: Event) -> None:
+        if event.event_id in self._delivered:
+            return
+        if subscription_matches_event(self._subscriptions, event.topic):
+            self._delivered.add(event.event_id)
+            self.delivered_count += 1
+            self.host.deliver(event)
+
+    # -- variant hooks -----------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _should_store(self, event: Event, subscribed: bool) -> bool:
+        """Keep this received event for future re-flooding?"""
+
+    @abc.abstractmethod
+    def _should_flood(self, event: Event) -> bool:
+        """Include this stored event in the next flood tick?"""
+
+    # -- introspection ------------------------------------------------------------------------
+
+    @property
+    def stored_event_ids(self) -> Set[EventId]:
+        return set(self._store)
+
+    def __repr__(self) -> str:   # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} store={len(self._store)} "
+                f"sent={self.batches_sent}>")

@@ -1,0 +1,23 @@
+"""Baseline (2): interests-aware flooding.
+
+"The processes, at every one second interval, propagate only the events
+they are interested in" (Section 5.2).  A process stores and re-floods an
+event only when it subscribed to the event's topic; parasite events are
+dropped on reception (but were still transmitted at them — the medium-level
+metrics charge that cost).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import FloodingProtocol
+from repro.core.events import Event
+
+
+class InterestAwareFlooding(FloodingProtocol):
+    """Flood only events the process itself subscribed to."""
+
+    def _should_store(self, event: Event, subscribed: bool) -> bool:
+        return subscribed
+
+    def _should_flood(self, event: Event) -> bool:
+        return True   # everything stored passed the interest filter

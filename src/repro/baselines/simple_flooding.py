@@ -1,0 +1,23 @@
+"""Baseline (1): simple flooding.
+
+"An event is sent every second by a process to all its neighbors which in
+turn, irrespective of their interests, propagates it with the same
+technique" (Section 5.2).  Every process stores and re-floods every valid
+event it hears, subscribed or not — 100 % reliability by construction, at
+maximal bandwidth, duplicate and parasite cost.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import FloodingProtocol
+from repro.core.events import Event
+
+
+class SimpleFlooding(FloodingProtocol):
+    """Flood everything, interests ignored."""
+
+    def _should_store(self, event: Event, subscribed: bool) -> bool:
+        return True
+
+    def _should_flood(self, event: Event) -> bool:
+        return True

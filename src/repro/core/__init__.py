@@ -1,0 +1,53 @@
+"""The paper's primary contribution: the frugal topic-based pub/sub protocol.
+
+Layout:
+
+* :mod:`repro.core.topics` — hierarchical dot-separated topics and
+  subscription matching,
+* :mod:`repro.core.events` — events with identifiers, validity periods and
+  forward counters,
+* :mod:`repro.core.tables` — the two memory-bounded data structures of
+  Section 4.1 (neighborhood table, event table) plus the events-to-send
+  buffer,
+* :mod:`repro.core.gc` — event-table eviction policies, including the
+  paper's Equation 1,
+* :mod:`repro.core.config` — protocol tunables (HBDelay, x, HB2BO, HB2NGC
+  and friends, Section 4/5.1),
+* :mod:`repro.core.base` — the protocol/host interfaces shared with the
+  flooding baselines,
+* :mod:`repro.core.protocol` — the three-phase frugal dissemination
+  algorithm itself (Sections 4.2-4.4).
+"""
+
+from repro.core.topics import Topic, TopicError, covers, related
+from repro.core.events import Event, EventId
+from repro.core.config import FrugalConfig
+from repro.core.tables import (NeighborhoodTable, NeighborEntry, EventTable,
+                               EventTableFull)
+from repro.core.gc import (EvictionPolicy, ValidityForwardPolicy, FifoPolicy,
+                           RandomPolicy, RemainingValidityPolicy, gc_score)
+from repro.core.base import PubSubProtocol, Host
+from repro.core.protocol import FrugalPubSub
+
+__all__ = [
+    "Topic",
+    "TopicError",
+    "covers",
+    "related",
+    "Event",
+    "EventId",
+    "FrugalConfig",
+    "NeighborhoodTable",
+    "NeighborEntry",
+    "EventTable",
+    "EventTableFull",
+    "EvictionPolicy",
+    "ValidityForwardPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "RemainingValidityPolicy",
+    "gc_score",
+    "PubSubProtocol",
+    "Host",
+    "FrugalPubSub",
+]

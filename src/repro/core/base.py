@@ -1,0 +1,102 @@
+"""Interfaces shared by the frugal protocol and the flooding baselines.
+
+The protocol logic is written against the minimal :class:`Host` interface
+rather than against the simulator directly.  That keeps the algorithm
+portable (the paper stresses its algorithm is "inherently portable") and —
+practically — lets unit tests drive a protocol instance with a scripted
+fake host, no radio or mobility involved.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import (TYPE_CHECKING, Callable, Iterable, Optional, Protocol,
+                    runtime_checkable)
+
+from repro.core.events import Event
+from repro.core.topics import Topic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle breaker (net -> core)
+    from repro.net.messages import Message
+
+
+@runtime_checkable
+class Host(Protocol):
+    """Services a protocol instance receives from its hosting node."""
+
+    id: int
+
+    @property
+    def now(self) -> float:
+        """Current time in seconds."""
+
+    def send(self, message: Message) -> None:
+        """One-hop broadcast to whoever is in range (paper's only primitive)."""
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args) -> object:
+        """Arm a cancellable timer; returns a handle with ``.cancel()``."""
+
+    def periodic(self, period: float, callback: Callable[[], None],
+                 jitter: float = 0.0) -> object:
+        """Start a periodic task; returns a handle with ``.stop()``,
+        ``.set_period()`` and ``.period``."""
+
+    def deliver(self, event: Event) -> None:
+        """Hand an event to the application layer."""
+
+    def current_speed(self) -> Optional[float]:
+        """Own speed in m/s, or ``None`` if no tachometer is available."""
+
+    @property
+    def rng(self):
+        """Node-local random stream (protocol jitter decisions)."""
+
+
+class PubSubProtocol(abc.ABC):
+    """Topic-based pub/sub protocol driver interface.
+
+    Lifecycle: ``attach(host)`` -> ``on_start()`` -> (subscribe/publish/
+    on_message)* -> ``on_stop()``.
+    """
+
+    def __init__(self) -> None:
+        self.host: Optional[Host] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def attach(self, host: Host) -> None:
+        if self.host is not None:
+            raise RuntimeError("protocol already attached to a host")
+        self.host = host
+
+    def on_start(self) -> None:
+        """Called once when the node boots."""
+
+    def on_stop(self) -> None:
+        """Called when the node shuts down or crashes."""
+
+    # -- application-facing API --------------------------------------------------
+
+    @abc.abstractmethod
+    def subscribe(self, topic: Topic | str) -> None:
+        """Register interest in ``topic`` and all its subtopics."""
+
+    @abc.abstractmethod
+    def unsubscribe(self, topic: Topic | str) -> None:
+        """Drop interest in ``topic``."""
+
+    @abc.abstractmethod
+    def publish(self, event: Event) -> None:
+        """Inject a locally produced event into the dissemination."""
+
+    @property
+    @abc.abstractmethod
+    def subscriptions(self) -> frozenset[Topic]:
+        """Current subscription set."""
+
+    # -- network-facing API ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def on_message(self, message: Message) -> None:
+        """Handle a frame received from the broadcast medium."""

@@ -1,0 +1,393 @@
+"""The frugal event-dissemination protocol (paper Sections 3-4).
+
+Three phases, all implemented here:
+
+1. **Neighbourhood detection** — a periodic heartbeat task broadcasts
+   ``(id, subscriptions, [speed])``.  Receivers with *matching*
+   subscriptions store the sender in their neighbourhood table and, on
+   first detection, broadcast the identifiers of the still-valid events
+   they hold for the shared topics.  Heartbeat reception also re-derives
+   the adaptive delays (``computeHBDelay``/``computeNGCDelay``, Fig. 8).
+2. **Dissemination** — knowing which events each matching neighbour holds,
+   a process computes the events some neighbour is entitled to but lacks
+   (``retrieveEventsToSend``, Fig. 7), arms a back-off inversely
+   proportional to how much it has to offer, and on expiry *recomputes*
+   and broadcasts the still-needed events together with its neighbour-id
+   list.  Overhearers use that list to update their own view, suppressing
+   redundant retransmissions; receiving an event of interest cancels a
+   pending back-off outright.
+3. **Garbage collection** — a periodic task drops stale neighbourhood rows;
+   the bounded event table evicts expired events first, then applies
+   Equation 1 (see :mod:`repro.core.gc`).
+
+Fidelity deviations (documented in DESIGN.md, "Pseudocode fidelity notes"):
+
+* ``retrieveEventsToSend`` sends *still-valid* events (the paper's
+  ``val(e) < currentTime`` comparison is an evident typo);
+* eviction prefers *expired* events (the prose contradicts Fig. 10's
+  comparison direction; we follow the prose);
+* **pure publishers**: the paper starts heartbeats only on ``SUBSCRIBE``,
+  which would make a publisher with no subscriptions invisible (nobody
+  stores it, its id announcements are dropped, nothing disseminates).  We
+  complete the obvious intent: a process *advertises* the union of its
+  subscriptions and the topics of its own still-valid publications, and
+  runs heartbeats while that advertised set is non-empty.  For processes
+  that subscribe to what they publish — every scenario in the paper — the
+  behaviour is identical to the pseudocode.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Set
+
+from repro.core.base import PubSubProtocol
+from repro.core.config import FrugalConfig
+from repro.core.events import Event, EventId
+from repro.core.gc import make_policy
+from repro.core.tables import EventTable, NeighborhoodTable
+from repro.core.topics import (Topic, subscription_matches_event,
+                               subscriptions_related)
+from repro.net.messages import EventBatch, EventIdList, Heartbeat, Message
+
+
+class FrugalPubSub(PubSubProtocol):
+    """The paper's frugal topic-based publish/subscribe protocol."""
+
+    def __init__(self, config: Optional[FrugalConfig] = None):
+        super().__init__()
+        self.config = config or FrugalConfig()
+        self._subscriptions: Set[Topic] = set()
+        self.neighborhood = NeighborhoodTable(
+            capacity=self.config.neighborhood_capacity)
+        self.events: Optional[EventTable] = None   # built on attach (needs rng)
+        self._running = False
+        self._hb_delay = self.config.hb_delay
+        self._hb_task = None
+        self._ngc_task = None
+        self._backoff_timer = None
+        self._bo_delay: Optional[float] = None      # the paper's "BODelay"
+        # Observability counters (protocol-level; the metrics collector
+        # counts independently at the medium level).
+        self.heartbeats_sent = 0
+        self.id_lists_sent = 0
+        self.batches_sent = 0
+        self.events_forwarded = 0
+        self.delivered_count = 0
+        self.duplicates_dropped = 0
+        self.parasites_dropped = 0
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def attach(self, host) -> None:
+        super().attach(host)
+        self.events = EventTable(
+            capacity=self.config.event_table_capacity,
+            policy=make_policy(self.config.eviction_policy),
+            rng=host.rng)
+
+    def on_start(self) -> None:
+        self._running = True
+        self._hb_delay = min(self.config.hb_delay,
+                             self.config.hb_upper_bound)
+        self._update_tasks()
+
+    def on_stop(self) -> None:
+        self._running = False
+        self._stop_tasks()
+        self._cancel_backoff()
+        # Volatile state is lost on crash: a recovered process rebuilds its
+        # view from scratch (Section 2 allows crash/recover at any time).
+        self.neighborhood = NeighborhoodTable(
+            capacity=self.config.neighborhood_capacity)
+        if self.host is not None:
+            self.events = EventTable(
+                capacity=self.config.event_table_capacity,
+                policy=make_policy(self.config.eviction_policy),
+                rng=self.host.rng)
+
+    # -- application-facing API -------------------------------------------------------
+
+    @property
+    def subscriptions(self) -> FrozenSet[Topic]:
+        return frozenset(self._subscriptions)
+
+    def subscribe(self, topic: Topic | str) -> None:
+        """Register interest in ``topic`` and its subtopics (Fig. 5)."""
+        self._subscriptions.add(Topic(topic))
+        self._update_tasks()
+
+    def unsubscribe(self, topic: Topic | str) -> None:
+        """Drop a subscription; tasks stop when nothing is advertised."""
+        self._subscriptions.discard(Topic(topic))
+        self._update_tasks()
+
+    def publish(self, event: Event) -> None:
+        """Inject a locally produced event (Fig. 9, ``publish``).
+
+        The event is stored and delivered locally, then broadcast
+        immediately if some matching neighbour is entitled to it; either
+        way it remains available for dissemination at future encounters
+        until its validity period ends.
+        """
+        self._require_attached()
+        now = self.host.now
+        interested = self.neighborhood.interested_in(event.topic)
+        if interested:
+            neighbor_ids = tuple(self.neighborhood.ids())
+            self.host.send(EventBatch(sender=self.host.id,
+                                      events=(event,),
+                                      neighbor_ids=neighbor_ids))
+            self.batches_sent += 1
+            self.events_forwarded += 1
+            for nid in neighbor_ids:
+                self.neighborhood.record_known_event(nid, event.event_id)
+        row = self.events.store(event, now)
+        if interested:
+            row.forward_count += 1
+        if not row.delivered:
+            row.delivered = True
+            self.delivered_count += 1
+            self.host.deliver(event)
+        self._update_tasks()       # a pure publisher starts advertising now
+
+    # -- network-facing API --------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if not self._running:
+            return
+        if isinstance(message, Heartbeat):
+            self._on_heartbeat(message)
+        elif isinstance(message, EventIdList):
+            self._on_event_id_list(message)
+        elif isinstance(message, EventBatch):
+            self._on_event_batch(message)
+        # Unknown message kinds are ignored: the medium is shared with
+        # whatever other protocols the simulation mixes in.
+
+    # -- phase 1: neighbourhood detection ---------------------------------------------------
+
+    def advertised_topics(self) -> FrozenSet[Topic]:
+        """Subscriptions plus the topics of own still-valid publications."""
+        topics = set(self._subscriptions)
+        if self.events is not None and self.host is not None:
+            now = self.host.now
+            own = self.host.id
+            topics.update(
+                row.topic for row in self.events
+                if row.event_id.publisher == own and row.is_valid(now))
+        return frozenset(topics)
+
+    def _on_heartbeat(self, hb: Heartbeat) -> None:
+        mine = self.advertised_topics()
+        if mine and subscriptions_related(mine, hb.subscriptions):
+            is_new = hb.sender not in self.neighborhood
+            self.neighborhood.upsert(hb.sender, hb.subscriptions,
+                                     hb.speed, self.host.now)
+            if is_new:
+                self._on_new_neighbor(hb.sender, hb.subscriptions)
+        self._recompute_delays()
+
+    def _on_new_neighbor(self, neighbor_id: int,
+                         their_subs: FrozenSet[Topic]) -> None:
+        """Fig. 6 lines 19-23: announce held event ids for shared topics.
+
+        With announcements disabled (the `abl-ids` ablation) the retrieve
+        step must fire here instead: the id exchange is what normally
+        triggers it, and without any trigger a holder meeting a fresh
+        neighbour would never offer anything.
+        """
+        if not self.config.announce_on_new_neighbor:
+            self._retrieve_events_to_send()
+            return
+        ids = self.events.valid_ids_for(their_subs, self.host.now)
+        self.host.send(EventIdList(sender=self.host.id,
+                                   event_ids=tuple(ids)))
+        self.id_lists_sent += 1
+
+    def _on_event_id_list(self, msg: EventIdList) -> None:
+        """Fig. 6 lines 25-32: learn what a neighbour holds, then offer."""
+        if msg.sender not in self.neighborhood:
+            return
+        for event_id in msg.event_ids:
+            self.neighborhood.record_known_event(msg.sender, event_id,
+                                                 now=self.host.now)
+        self._retrieve_events_to_send()
+
+    def _recompute_delays(self) -> None:
+        """Fig. 8: adapt heartbeat and neighbourhood-GC periods."""
+        avg = self.neighborhood.average_speed(
+            own_speed=self.host.current_speed())
+        new_hb = self.config.adapted_hb_delay(avg, self._hb_delay)
+        if new_hb != self._hb_delay:
+            self._hb_delay = new_hb
+            if self._hb_task is not None:
+                self._hb_task.set_period(new_hb)
+        # NGCDelay follows HBDelay (Fig. 8 line 12).
+        if self._ngc_task is not None:
+            self._ngc_task.set_period(self.config.ngc_delay(self._hb_delay))
+
+    def _heartbeat_tick(self) -> None:
+        topics = self.advertised_topics()
+        if not topics:
+            return
+        speed = (self.host.current_speed()
+                 if self.config.speed_in_heartbeats else None)
+        self.host.send(Heartbeat(sender=self.host.id,
+                                 subscriptions=topics,
+                                 speed=speed))
+        self.heartbeats_sent += 1
+
+    def _ngc_tick(self) -> None:
+        """Fig. 10 lines 2-8: drop stale neighbourhood rows."""
+        self.neighborhood.collect(self.host.now,
+                                  self.config.ngc_delay(self._hb_delay))
+
+    # -- phase 2: dissemination ------------------------------------------------------------
+
+    def _retrieve_events_to_send(self) -> List[EventId]:
+        """Fig. 7: compute what some neighbour needs; arm the back-off.
+
+        Returns the computed id list (the send itself happens at back-off
+        expiry on a *recomputed* list, per the paper's prose).
+        """
+        to_send = self._compute_events_to_send()
+        if not to_send:
+            return []
+        delay = self.config.backoff_delay(self._hb_delay, len(to_send))
+        if self._bo_delay is None:
+            self._bo_delay = delay
+        else:
+            self._bo_delay = min(self._bo_delay, delay)
+        if not self.config.use_backoff:
+            self._on_backoff_expired()
+            return to_send
+        if self._backoff_timer is None or not self._backoff_timer.active:
+            armed = self._bo_delay
+            if self.config.backoff_jitter_frac > 0:
+                armed *= 1.0 + self.host.rng.uniform(
+                    0.0, self.config.backoff_jitter_frac)
+            self._backoff_timer = self.host.schedule(
+                armed, self._on_backoff_expired)
+        return to_send
+
+    def _compute_events_to_send(self) -> List[EventId]:
+        """Ids of held, valid events some matching neighbour lacks."""
+        now = self.host.now
+        needed: Set[EventId] = set()
+        valid_rows = self.events.valid_rows(now)
+        if not valid_rows:
+            return []
+        for neighbor in self.neighborhood:
+            for row in valid_rows:
+                if row.event_id in needed:
+                    continue
+                if (subscription_matches_event(neighbor.subscriptions,
+                                               row.topic)
+                        and not neighbor.knows(row.event_id)):
+                    needed.add(row.event_id)
+        return sorted(needed)
+
+    def _on_backoff_expired(self) -> None:
+        """Fig. 9 lines 2-14: recompute, send, account."""
+        self._bo_delay = None
+        self._backoff_timer = None
+        to_send = self._compute_events_to_send()
+        if not to_send:
+            return
+        events = tuple(self.events.get(eid).event for eid in to_send)
+        neighbor_ids = tuple(self.neighborhood.ids())
+        self.host.send(EventBatch(sender=self.host.id, events=events,
+                                  neighbor_ids=neighbor_ids))
+        self.batches_sent += 1
+        self.events_forwarded += len(events)
+        for nid in neighbor_ids:
+            for eid in to_send:
+                self.neighborhood.record_known_event(nid, eid)
+        for eid in to_send:
+            self.events.increment_forward_count(eid)
+
+    def _cancel_backoff(self) -> None:
+        if self._backoff_timer is not None:
+            self._backoff_timer.cancel()
+            self._backoff_timer = None
+        self._bo_delay = None
+
+    def _on_event_batch(self, msg: EventBatch) -> None:
+        """Fig. 9 lines 16-32: receive events, deliver, update the view."""
+        now = self.host.now
+        interested = False
+        for event in msg.events:
+            # The sender holds the event; the attached neighbour ids are
+            # about to receive it — all of them are presumed to know it.
+            self.neighborhood.record_known_event(msg.sender, event.event_id)
+            for nid in msg.neighbor_ids:
+                if nid != self.host.id:
+                    self.neighborhood.record_known_event(nid, event.event_id)
+            if not subscription_matches_event(self.subscriptions,
+                                              event.topic):
+                self.parasites_dropped += 1
+                continue
+            if event.event_id in self.events:
+                self.duplicates_dropped += 1
+                continue
+            if not event.is_valid(now):
+                continue   # expired in flight; of no use to anyone
+            interested = True
+            if self.config.backoff_suppression:
+                self._cancel_backoff()
+            row = self.events.store(event, now)
+            if not row.delivered:
+                row.delivered = True
+                self.delivered_count += 1
+                self.host.deliver(event)
+        if interested:
+            self._retrieve_events_to_send()
+
+    # -- phase 3: task management -------------------------------------------------------------
+
+    def _update_tasks(self) -> None:
+        """Start/stop the heartbeat and neighbourhood-GC tasks (Fig. 5).
+
+        Tasks run while the process is up and advertises at least one
+        topic (a subscription, or an own still-valid publication).
+        """
+        if not self._running or self.host is None:
+            return
+        if self.advertised_topics():
+            if self._hb_task is None or not self._hb_task.running:
+                self._hb_task = self.host.periodic(
+                    self._hb_delay, self._heartbeat_tick,
+                    jitter=self.config.hb_jitter)
+            if self._ngc_task is None or not self._ngc_task.running:
+                self._ngc_task = self.host.periodic(
+                    self.config.ngc_delay(self._hb_delay), self._ngc_tick)
+        else:
+            self._stop_tasks()
+
+    def _stop_tasks(self) -> None:
+        if self._hb_task is not None:
+            self._hb_task.stop()
+            self._hb_task = None
+        if self._ngc_task is not None:
+            self._ngc_task.stop()
+            self._ngc_task = None
+
+    # -- misc ---------------------------------------------------------------------------------
+
+    def _require_attached(self) -> None:
+        if self.host is None or self.events is None:
+            raise RuntimeError("protocol is not attached to a host")
+
+    @property
+    def hb_delay(self) -> float:
+        """Current (possibly adapted) heartbeat period [s]."""
+        return self._hb_delay
+
+    @property
+    def backoff_pending(self) -> bool:
+        return self._backoff_timer is not None and self._backoff_timer.active
+
+    def __repr__(self) -> str:   # pragma: no cover - debugging aid
+        subs = ",".join(sorted(str(t) for t in self._subscriptions))
+        return (f"<FrugalPubSub subs=[{subs}] "
+                f"events={len(self.events) if self.events else 0}>")

@@ -1,0 +1,55 @@
+"""Experiment harness: scenarios, multi-seed running and the paper's figures.
+
+* :mod:`repro.harness.scenario` — declarative scenario configs and the
+  world builder/runner,
+* :mod:`repro.harness.runner` — multi-seed averaging with paired seeds,
+* :mod:`repro.harness.presets` — `quick` vs `paper` experiment scales,
+* :mod:`repro.harness.experiments` — one function per paper figure
+  (Figs. 11-20) plus ablations,
+* :mod:`repro.harness.reporting` — ASCII tables and CSV output.
+"""
+
+from repro.harness.scenario import (CitySectionSpec, MobilitySpec,
+                                    Publication, RandomWaypointSpec,
+                                    ScenarioConfig, ScenarioResult,
+                                    StationarySpec, build_world,
+                                    make_protocol, run_scenario)
+from repro.harness.runner import (Aggregate, MultiSeedResult, aggregate,
+                                  run_matrix, run_seeds)
+from repro.harness.presets import PAPER, QUICK, Scale, get_scale
+from repro.harness.experiments import (ALL_EXPERIMENTS, ExperimentResult,
+                                       city_scenario, frugality_comparison,
+                                       rwp_scenario)
+from repro.harness.reporting import (format_experiment, format_table,
+                                     reliability_grid, to_csv)
+
+__all__ = [
+    "CitySectionSpec",
+    "MobilitySpec",
+    "Publication",
+    "RandomWaypointSpec",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "StationarySpec",
+    "build_world",
+    "make_protocol",
+    "run_scenario",
+    "Aggregate",
+    "MultiSeedResult",
+    "aggregate",
+    "run_matrix",
+    "run_seeds",
+    "PAPER",
+    "QUICK",
+    "Scale",
+    "get_scale",
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "city_scenario",
+    "frugality_comparison",
+    "rwp_scenario",
+    "format_experiment",
+    "format_table",
+    "reliability_grid",
+    "to_csv",
+]

@@ -1,0 +1,81 @@
+"""Command-line entry point for the experiment harness.
+
+Run any reproduced figure or ablation from a shell::
+
+    python -m repro.harness.cli list
+    python -m repro.harness.cli fig13
+    python -m repro.harness.cli fig17 --scale paper --csv out/fig17.csv
+    python -m repro.harness.cli all --out-dir results/
+
+Equivalent to the benchmark suite minus the timing machinery — handy on a
+cluster where each figure is one job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.presets import get_scale
+from repro.harness.reporting import format_experiment, to_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli",
+        description="Regenerate the paper's figures and ablations.")
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig11..fig20, abl-gc, abl-backoff, "
+             "abl-adaptive-hb, abl-ids), 'all', or 'list'")
+    parser.add_argument(
+        "--scale", default=None, choices=["quick", "paper"],
+        help="experiment scale (default: REPRO_SCALE env or quick)")
+    parser.add_argument(
+        "--csv", default=None,
+        help="write the result rows to this CSV file")
+    parser.add_argument(
+        "--out-dir", default=None,
+        help="with 'all': write one CSV per experiment into this directory")
+    return parser
+
+
+def run_one(experiment_id: str, scale_name: Optional[str],
+            csv_path: Optional[str]) -> None:
+    scale = get_scale(scale_name)
+    result = ALL_EXPERIMENTS[experiment_id](scale)
+    print(format_experiment(result))
+    if csv_path:
+        pathlib.Path(csv_path).parent.mkdir(parents=True, exist_ok=True)
+        to_csv(result, csv_path)
+        print(f"\nwrote {csv_path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in ALL_EXPERIMENTS:
+            doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip()
+            print(f"  {name:16s} {doc.splitlines()[0]}")
+        return 0
+    if args.experiment == "all":
+        out_dir = pathlib.Path(args.out_dir or "results")
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name in ALL_EXPERIMENTS:
+            run_one(name, args.scale, str(out_dir / f"{name}.csv"))
+            print()
+        return 0
+    if args.experiment not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try 'list'", file=sys.stderr)
+        return 2
+    run_one(args.experiment, args.scale, args.csv)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,489 @@
+"""One function per paper figure (Figs. 11-20) plus the design ablations.
+
+Every function takes a :class:`~repro.harness.presets.Scale` and returns an
+:class:`ExperimentResult` whose rows carry the swept parameters and the
+measured metrics — the same rows the benchmark harness prints and
+EXPERIMENTS.md records.  At `paper` scale the sweeps match the paper's
+grids; at `quick` scale they are coarsened but keep the endpoints, so the
+qualitative shape (who wins, where the knees are) remains visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import FrugalConfig
+from repro.harness.presets import Scale, get_scale
+from repro.harness.runner import aggregate, run_seeds
+from repro.harness.scenario import (CitySectionSpec, Publication,
+                                    RandomWaypointSpec, ScenarioConfig,
+                                    StationarySpec)
+from repro.net import MediumConfig, RadioConfig
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced table/figure."""
+
+    experiment_id: str
+    title: str
+    parameters: Dict[str, object]
+    rows: List[Dict[str, float]] = field(default_factory=list)
+
+    def column(self, name: str) -> List[float]:
+        return [row[name] for row in self.rows]
+
+    def filter(self, **criteria) -> List[Dict[str, float]]:
+        """Rows matching all the given parameter values."""
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in criteria.items()):
+                out.append(row)
+        return out
+
+
+# --------------------------------------------------------------------------
+# Scenario builders
+# --------------------------------------------------------------------------
+
+def rwp_scenario(scale: Scale, speed_min: float, speed_max: float,
+                 validity: float, interest: float,
+                 n_events: int = 1, protocol: str = "frugal",
+                 duration: Optional[float] = None,
+                 frugal: Optional[FrugalConfig] = None) -> ScenarioConfig:
+    """A random-waypoint trial with the paper's Section 5.1 settings."""
+    if speed_max <= 0:
+        mobility = StationarySpec(width=scale.rwp_area_m,
+                                  height=scale.rwp_area_m)
+    else:
+        mobility = RandomWaypointSpec(
+            width=scale.rwp_area_m, height=scale.rwp_area_m,
+            speed_min=speed_min, speed_max=speed_max, pause_time=1.0)
+    pubs = tuple(
+        Publication(at=2.0 + 2.0 * i, validity=validity, publisher=i)
+        for i in range(n_events))
+    last_pub = max(p.at for p in pubs)
+    return ScenarioConfig(
+        n_processes=scale.rwp_processes,
+        mobility=mobility,
+        duration=duration if duration is not None
+        else last_pub + validity + 5.0,
+        warmup=scale.rwp_warmup,
+        protocol=protocol,
+        frugal=frugal or FrugalConfig.paper_random_waypoint(),
+        radio=RadioConfig.paper_random_waypoint(),
+        subscriber_fraction=interest,
+        publications=pubs)
+
+
+def city_scenario(scale: Scale, validity: float, interest: float,
+                  hb_upper: float = 1.0, publisher: int = 0,
+                  protocol: str = "frugal") -> ScenarioConfig:
+    """A city-section trial on the synthetic campus map."""
+    return ScenarioConfig(
+        n_processes=scale.city_processes,
+        mobility=CitySectionSpec(),
+        duration=5.0 + validity + 5.0,
+        warmup=scale.city_warmup,
+        protocol=protocol,
+        frugal=FrugalConfig.paper_city_section(hb_upper_bound=hb_upper),
+        radio=RadioConfig.paper_city_section(),
+        subscriber_fraction=interest,
+        publications=(Publication(at=5.0, validity=validity,
+                                  publisher=publisher),))
+
+
+def _city_rotated_reliabilities(scale: Scale, validity: float,
+                                interest: float,
+                                hb_upper: float = 1.0) -> List[float]:
+    """Mean reliability per publisher, rotating the original publisher
+    (the paper: "all processes, in turn, become the original publisher")."""
+    per_publisher: List[float] = []
+    for rotation in range(scale.city_publisher_rotations):
+        cfg = city_scenario(scale, validity, interest,
+                            hb_upper=hb_upper, publisher=rotation)
+        multi = run_seeds(cfg, scale.seed_list())
+        per_publisher.append(multi.reliability.mean)
+    return per_publisher
+
+
+# --------------------------------------------------------------------------
+# Random waypoint reliability (Figs. 11, 12)
+# --------------------------------------------------------------------------
+
+FIG11_SPEEDS_FULL = [0.0, 1.0, 5.0, 10.0, 20.0, 30.0, 40.0]
+FIG11_SPEEDS_COARSE = [0.0, 5.0, 10.0, 30.0]
+VALIDITIES_FULL = [20.0, 60.0, 100.0, 140.0, 180.0]
+VALIDITIES_COARSE = [30.0, 90.0, 180.0]
+INTERESTS_FULL = [0.2, 0.4, 0.6, 0.8, 1.0]
+INTERESTS_COARSE = [0.2, 0.6, 1.0]
+
+
+def fig11(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Fig. 11: reliability vs (speed x validity) at 20 % and 80 % interest."""
+    scale = scale or get_scale()
+    speeds = scale.pick(FIG11_SPEEDS_FULL, FIG11_SPEEDS_COARSE)
+    validities = scale.pick(VALIDITIES_FULL, VALIDITIES_COARSE)
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="Reliability vs validity, speed and subscriber fraction "
+              "(random waypoint)",
+        parameters={"scale": scale.name, "speeds": speeds,
+                    "validities": validities, "interests": [0.2, 0.8]})
+    for interest in (0.2, 0.8):
+        for speed in speeds:
+            for validity in validities:
+                cfg = rwp_scenario(scale, speed, speed, validity, interest)
+                multi = run_seeds(cfg, scale.seed_list())
+                agg = multi.reliability
+                result.rows.append({
+                    "interest": interest, "speed": speed,
+                    "validity": validity,
+                    "reliability": agg.mean, "reliability_std": agg.std})
+    return result
+
+
+def fig12(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Fig. 12: reliability vs (validity x interest), speeds ~ U(1, 40)."""
+    scale = scale or get_scale()
+    validities = scale.pick(VALIDITIES_FULL, VALIDITIES_COARSE)
+    interests = scale.pick(INTERESTS_FULL, INTERESTS_COARSE)
+    result = ExperimentResult(
+        experiment_id="fig12",
+        title="Reliability in a heterogeneous network (speeds 1-40 m/s)",
+        parameters={"scale": scale.name, "validities": validities,
+                    "interests": interests})
+    for interest in interests:
+        for validity in validities:
+            cfg = rwp_scenario(scale, 1.0, 40.0, validity, interest)
+            multi = run_seeds(cfg, scale.seed_list())
+            agg = multi.reliability
+            result.rows.append({
+                "interest": interest, "validity": validity,
+                "reliability": agg.mean, "reliability_std": agg.std})
+    return result
+
+
+# --------------------------------------------------------------------------
+# City section reliability (Figs. 13-16)
+# --------------------------------------------------------------------------
+
+def fig13(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Fig. 13: reliability vs heartbeat upper bound (city section)."""
+    scale = scale or get_scale()
+    bounds = scale.pick([1.0, 2.0, 3.0, 4.0, 5.0], [1.0, 3.0, 5.0])
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title="Reliability vs heartbeat upper-bound period (city section, "
+              "validity 150 s, 100% subscribers)",
+        parameters={"scale": scale.name, "hb_upper_bounds": bounds})
+    for bound in bounds:
+        per_pub = _city_rotated_reliabilities(scale, validity=150.0,
+                                              interest=1.0, hb_upper=bound)
+        agg = aggregate(per_pub)
+        result.rows.append({"hb_upper": bound,
+                            "reliability": agg.mean,
+                            "reliability_std": agg.std})
+    return result
+
+
+def fig14(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Fig. 14: reliability vs subscriber fraction (city section)."""
+    scale = scale or get_scale()
+    interests = scale.pick(INTERESTS_FULL, INTERESTS_COARSE)
+    result = ExperimentResult(
+        experiment_id="fig14",
+        title="Reliability vs subscriber fraction (city section, "
+              "validity 150 s, heartbeat bound 1 s)",
+        parameters={"scale": scale.name, "interests": interests})
+    for interest in interests:
+        per_pub = _city_rotated_reliabilities(scale, validity=150.0,
+                                              interest=interest)
+        agg = aggregate(per_pub)
+        result.rows.append({"interest": interest,
+                            "reliability": agg.mean,
+                            "reliability_std": agg.std})
+    return result
+
+
+def fig15(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Fig. 15: max-min reliability spread across publishers."""
+    scale = scale or get_scale()
+    interests = scale.pick(INTERESTS_FULL, INTERESTS_COARSE)
+    result = ExperimentResult(
+        experiment_id="fig15",
+        title="Reliability spread between publishers vs subscriber "
+              "fraction (city section)",
+        parameters={"scale": scale.name, "interests": interests})
+    for interest in interests:
+        per_pub = _city_rotated_reliabilities(scale, validity=150.0,
+                                              interest=interest)
+        result.rows.append({"interest": interest,
+                            "spread": max(per_pub) - min(per_pub),
+                            "best": max(per_pub), "worst": min(per_pub)})
+    return result
+
+
+def fig16(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Fig. 16: reliability vs event validity period (city section)."""
+    scale = scale or get_scale()
+    validities = scale.pick([25.0, 50.0, 75.0, 100.0, 125.0, 150.0],
+                            [25.0, 75.0, 150.0])
+    result = ExperimentResult(
+        experiment_id="fig16",
+        title="Reliability vs validity period (city section, "
+              "100% subscribers)",
+        parameters={"scale": scale.name, "validities": validities})
+    for validity in validities:
+        per_pub = _city_rotated_reliabilities(scale, validity=validity,
+                                              interest=1.0)
+        agg = aggregate(per_pub)
+        result.rows.append({"validity": validity,
+                            "reliability": agg.mean,
+                            "reliability_std": agg.std})
+    return result
+
+
+# --------------------------------------------------------------------------
+# Frugality comparison (Figs. 17-20)
+# --------------------------------------------------------------------------
+
+EVENTS_FULL = [1, 5, 10, 15, 20]
+EVENTS_COARSE = [1, 10, 20]
+
+#: Which protocols each paper figure actually plots.
+FIG17_PROTOCOLS = ("frugal", "interest-flooding", "simple-flooding")
+FIG18_PROTOCOLS = ("frugal", "interest-flooding", "simple-flooding")
+FIG19_PROTOCOLS = ("frugal", "interest-flooding", "simple-flooding")
+FIG20_PROTOCOLS = ("frugal", "interest-flooding", "neighbor-flooding")
+
+
+def frugality_comparison(scale: Optional[Scale] = None,
+                         protocols: Sequence[str] = FIG17_PROTOCOLS,
+                         experiment_id: str = "fig17-20",
+                         title: str = "Frugality comparison",
+                         metric_names: Sequence[str] = (
+                             "bandwidth_bytes", "events_sent",
+                             "duplicates", "parasites"),
+                         ) -> ExperimentResult:
+    """The shared Figs. 17-20 sweep: protocols x #events x interest.
+
+    All protocols run the identical mobility/subscription draw per seed
+    (paired seeds), at 10 m/s over a 180 s window, 400-byte events with a
+    validity long enough to stay live for the whole window — the paper's
+    frugality measurement conditions.
+    """
+    scale = scale or get_scale()
+    events_counts = scale.pick(EVENTS_FULL, EVENTS_COARSE)
+    interests = scale.pick(INTERESTS_FULL, INTERESTS_COARSE)
+    result = ExperimentResult(
+        experiment_id=experiment_id, title=title,
+        parameters={"scale": scale.name, "protocols": list(protocols),
+                    "events": events_counts, "interests": interests})
+    for protocol in protocols:
+        for n_events in events_counts:
+            for interest in interests:
+                cfg = rwp_scenario(scale, 10.0, 10.0, validity=180.0,
+                                   interest=interest, n_events=n_events,
+                                   protocol=protocol, duration=180.0)
+                multi = run_seeds(cfg, scale.seed_list())
+                summary = multi.summary()
+                row = {"protocol": protocol, "events": n_events,
+                       "interest": interest,
+                       "reliability": summary["reliability"].mean}
+                for name in metric_names:
+                    row[name] = summary[name].mean
+                    row[name + "_std"] = summary[name].std
+                result.rows.append(row)
+    return result
+
+
+def fig17(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Fig. 17: bandwidth per process vs (#events x interest)."""
+    return frugality_comparison(
+        scale, protocols=FIG17_PROTOCOLS, experiment_id="fig17",
+        title="Bandwidth used per process (random waypoint, 10 m/s)",
+        metric_names=("bandwidth_bytes",))
+
+
+def fig18(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Fig. 18: events sent per process vs (#events x interest)."""
+    return frugality_comparison(
+        scale, protocols=FIG18_PROTOCOLS, experiment_id="fig18",
+        title="Events sent per process (random waypoint, 10 m/s)",
+        metric_names=("events_sent",))
+
+
+def fig19(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Fig. 19: duplicates received per process vs (#events x interest)."""
+    return frugality_comparison(
+        scale, protocols=FIG19_PROTOCOLS, experiment_id="fig19",
+        title="Duplicates received per process (random waypoint, 10 m/s)",
+        metric_names=("duplicates",))
+
+
+def fig20(scale: Optional[Scale] = None) -> ExperimentResult:
+    """Fig. 20: parasite events received per process."""
+    return frugality_comparison(
+        scale, protocols=FIG20_PROTOCOLS, experiment_id="fig20",
+        title="Parasite events received per process "
+              "(random waypoint, 10 m/s)",
+        metric_names=("parasites",))
+
+
+# --------------------------------------------------------------------------
+# Related work (paper Section 6): broadcast-storm schemes
+# --------------------------------------------------------------------------
+
+def related_work_comparison(scale: Optional[Scale] = None
+                            ) -> ExperimentResult:
+    """Frugal vs the broadcast-storm schemes the paper positions against.
+
+    The probabilistic and counter-based schemes (Ni et al.) forward each
+    event at most once, so — unlike the Section 5.2 flooders — they cannot
+    exploit validity periods: whoever is outside the connected component
+    at publish time is lost forever.  The frugal protocol's store-and-
+    forward phase is exactly what fixes that.
+    """
+    scale = scale or get_scale()
+    protocols = ["frugal", "gossip-flooding", "counter-flooding",
+                 "simple-flooding"]
+    result = ExperimentResult(
+        experiment_id="related-work",
+        title="Frugal vs broadcast-storm schemes (one-shot forwarding)",
+        parameters={"scale": scale.name, "protocols": protocols})
+    for protocol in protocols:
+        cfg = rwp_scenario(scale, 10.0, 10.0, validity=120.0, interest=0.8,
+                           n_events=3, protocol=protocol, duration=150.0)
+        multi = run_seeds(cfg, scale.seed_list())
+        summary = multi.summary()
+        result.rows.append({
+            "protocol": protocol,
+            "reliability": summary["reliability"].mean,
+            "bandwidth_bytes": summary["bandwidth_bytes"].mean,
+            "duplicates": summary["duplicates"].mean,
+            "events_sent": summary["events_sent"].mean})
+    return result
+
+
+# --------------------------------------------------------------------------
+# Ablations (design choices DESIGN.md calls out)
+# --------------------------------------------------------------------------
+
+def ablation_gc(scale: Optional[Scale] = None,
+                capacity: int = 8) -> ExperimentResult:
+    """abl-gc: eviction policies under memory pressure.
+
+    Many events with mixed validities flow through a tiny event table;
+    the policy decides who survives to be re-disseminated.  Measured:
+    reliability (long- and short-validity events averaged together).
+    """
+    scale = scale or get_scale()
+    policies = ["validity-forward", "remaining-validity", "fifo", "random"]
+    result = ExperimentResult(
+        experiment_id="abl-gc",
+        title=f"Eviction policy comparison (event table capacity "
+              f"{capacity})",
+        parameters={"scale": scale.name, "capacity": capacity,
+                    "policies": policies})
+    n_events = 16
+    for policy in policies:
+        frugal = FrugalConfig.paper_random_waypoint().with_changes(
+            event_table_capacity=capacity, eviction_policy=policy)
+        cfg = rwp_scenario(scale, 10.0, 10.0, validity=120.0, interest=0.8,
+                           n_events=n_events, duration=160.0, frugal=frugal)
+        multi = run_seeds(cfg, scale.seed_list())
+        summary = multi.summary()
+        result.rows.append({
+            "policy": policy,
+            "reliability": summary["reliability"].mean,
+            "duplicates": summary["duplicates"].mean})
+    return result
+
+
+def ablation_backoff(scale: Optional[Scale] = None) -> ExperimentResult:
+    """abl-backoff: the contention back-off vs sending immediately."""
+    scale = scale or get_scale()
+    variants = {
+        "backoff+suppression": {},
+        "no-suppression": {"backoff_suppression": False},
+        "no-backoff": {"use_backoff": False,
+                       "backoff_suppression": False},
+    }
+    result = ExperimentResult(
+        experiment_id="abl-backoff",
+        title="Back-off / suppression ablation (duplicates per process)",
+        parameters={"scale": scale.name, "variants": list(variants)})
+    for name, changes in variants.items():
+        frugal = FrugalConfig.paper_random_waypoint().with_changes(**changes)
+        cfg = rwp_scenario(scale, 10.0, 10.0, validity=180.0, interest=0.8,
+                           n_events=5, duration=180.0, frugal=frugal)
+        multi = run_seeds(cfg, scale.seed_list())
+        summary = multi.summary()
+        result.rows.append({
+            "variant": name,
+            "reliability": summary["reliability"].mean,
+            "duplicates": summary["duplicates"].mean,
+            "bandwidth_bytes": summary["bandwidth_bytes"].mean})
+    return result
+
+
+def ablation_heartbeat(scale: Optional[Scale] = None) -> ExperimentResult:
+    """abl-adaptive-hb: speed-adaptive heartbeat vs static period.
+
+    With a loose upper bound (5 s) the adaptive rule ``x / avgSpeed``
+    shortens the beacon period as the network speeds up; the static
+    variant stays at the bound and detects neighbours late.
+    """
+    scale = scale or get_scale()
+    speeds = [5.0, 20.0, 40.0]
+    result = ExperimentResult(
+        experiment_id="abl-adaptive-hb",
+        title="Adaptive vs static heartbeat (hb upper bound 5 s)",
+        parameters={"scale": scale.name, "speeds": speeds})
+    for adaptive in (True, False):
+        for speed in speeds:
+            frugal = FrugalConfig.paper_random_waypoint().with_changes(
+                hb_upper_bound=5.0, adaptive_heartbeat=adaptive)
+            cfg = rwp_scenario(scale, speed, speed, validity=120.0,
+                               interest=0.8, frugal=frugal)
+            multi = run_seeds(cfg, scale.seed_list())
+            summary = multi.summary()
+            result.rows.append({
+                "adaptive": adaptive, "speed": speed,
+                "reliability": summary["reliability"].mean,
+                "bandwidth_bytes": summary["bandwidth_bytes"].mean})
+    return result
+
+
+def ablation_ids(scale: Optional[Scale] = None) -> ExperimentResult:
+    """abl-ids: exchanging event ids first vs pushing events blindly."""
+    scale = scale or get_scale()
+    result = ExperimentResult(
+        experiment_id="abl-ids",
+        title="Event-id exchange vs blind push (duplicates, bandwidth)",
+        parameters={"scale": scale.name})
+    for announce in (True, False):
+        frugal = FrugalConfig.paper_random_waypoint().with_changes(
+            announce_on_new_neighbor=announce)
+        cfg = rwp_scenario(scale, 10.0, 10.0, validity=180.0, interest=0.8,
+                           n_events=5, duration=180.0, frugal=frugal)
+        multi = run_seeds(cfg, scale.seed_list())
+        summary = multi.summary()
+        result.rows.append({
+            "id_exchange": announce,
+            "reliability": summary["reliability"].mean,
+            "duplicates": summary["duplicates"].mean,
+            "bandwidth_bytes": summary["bandwidth_bytes"].mean})
+    return result
+
+
+ALL_EXPERIMENTS: Dict[str, Callable[[Optional[Scale]], ExperimentResult]] = {
+    "fig11": fig11, "fig12": fig12, "fig13": fig13, "fig14": fig14,
+    "fig15": fig15, "fig16": fig16, "fig17": fig17, "fig18": fig18,
+    "fig19": fig19, "fig20": fig20,
+    "abl-gc": ablation_gc, "abl-backoff": ablation_backoff,
+    "abl-adaptive-hb": ablation_heartbeat, "abl-ids": ablation_ids,
+    "related-work": related_work_comparison,
+}

@@ -1,0 +1,90 @@
+"""Rendering experiment results: aligned ASCII tables and CSV files.
+
+The benchmark harness prints each reproduced figure with these helpers so
+`pytest benchmarks/ --benchmark-only` output can be compared side by side
+with the paper's plots (EXPERIMENTS.md records the comparison).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.experiments import ExperimentResult
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e6:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict], columns: Optional[List[str]] = None,
+                 ) -> str:
+    """Render dict-rows as an aligned, pipe-separated ASCII table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_render_cell(row.get(col, "")) for col in columns]
+                for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+    header = line(columns)
+    sep = "-+-".join("-" * w for w in widths)
+    return "\n".join([header, sep] + [line(r) for r in rendered])
+
+
+def format_experiment(result: ExperimentResult,
+                      columns: Optional[List[str]] = None) -> str:
+    """Title + parameter summary + rows table, ready to print."""
+    buf = io.StringIO()
+    buf.write(f"== {result.experiment_id}: {result.title} ==\n")
+    params = ", ".join(f"{k}={v}" for k, v in result.parameters.items())
+    buf.write(f"   ({params})\n")
+    # Std-dev columns are noise in the console rendering; CSV keeps them.
+    if columns is None and result.rows:
+        columns = [c for c in result.rows[0] if not c.endswith("_std")]
+    buf.write(format_table(result.rows, columns))
+    return buf.getvalue()
+
+
+def to_csv(result: ExperimentResult, path: str) -> None:
+    """Write all rows (including std columns) to ``path``."""
+    if not result.rows:
+        raise ValueError(f"experiment {result.experiment_id} has no rows")
+    columns: List[str] = []
+    for row in result.rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(result.rows)
+
+
+def reliability_grid(result: ExperimentResult, row_key: str,
+                     col_key: str, value_key: str = "reliability",
+                     **fixed) -> str:
+    """Pivot rows into a 2-D grid (e.g. speed x validity -> reliability),
+    mirroring the paper's 3-D surface plots as a text matrix."""
+    rows = result.filter(**fixed) if fixed else result.rows
+    row_vals = sorted({r[row_key] for r in rows})
+    col_vals = sorted({r[col_key] for r in rows})
+    lookup = {(r[row_key], r[col_key]): r[value_key] for r in rows}
+    table = []
+    for rv in row_vals:
+        line = {row_key: rv}
+        for cv in col_vals:
+            line[f"{col_key}={_render_cell(cv)}"] = lookup.get((rv, cv),
+                                                               float("nan"))
+        table.append(line)
+    return format_table(table)

@@ -1,0 +1,83 @@
+"""Multi-seed scenario execution and aggregation.
+
+The paper averages every data point over 30 differently seeded runs; this
+module owns that loop.  Seeding is paired: the same seed produces the same
+mobility traces and subscriber draw for every protocol, so protocol
+comparisons (Figs. 17-20) are paired comparisons, not independent samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.harness.scenario import ScenarioConfig, ScenarioResult, \
+    run_scenario
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean and standard deviation of one metric across seeds."""
+
+    mean: float
+    std: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.std:.2g} (n={self.n})"
+
+
+def aggregate(values: Sequence[float]) -> Aggregate:
+    """Population mean/std of a metric series (n >= 1)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("cannot aggregate an empty series")
+    mean = sum(vals) / len(vals)
+    var = sum((v - mean) ** 2 for v in vals) / len(vals)
+    return Aggregate(mean=mean, std=math.sqrt(var), n=len(vals))
+
+
+@dataclass
+class MultiSeedResult:
+    """All per-seed results plus aggregated summaries."""
+
+    results: List[ScenarioResult]
+
+    def metric(self, fn: Callable[[ScenarioResult], float]) -> Aggregate:
+        return aggregate([fn(r) for r in self.results])
+
+    def summary(self) -> Dict[str, Aggregate]:
+        """Aggregates of the five standard metrics."""
+        keys = self.results[0].summary().keys()
+        series: Dict[str, List[float]] = {k: [] for k in keys}
+        for result in self.results:
+            for key, value in result.summary().items():
+                series[key].append(value)
+        return {k: aggregate(v) for k, v in series.items()}
+
+    @property
+    def reliability(self) -> Aggregate:
+        return self.metric(lambda r: r.reliability())
+
+
+def run_seeds(config: ScenarioConfig,
+              seeds: Iterable[int]) -> MultiSeedResult:
+    """Run ``config`` once per seed (everything else held fixed)."""
+    results = [run_scenario(config.with_changes(seed=seed))
+               for seed in seeds]
+    if not results:
+        raise ValueError("run_seeds needs at least one seed")
+    return MultiSeedResult(results=results)
+
+
+def run_matrix(configs: Dict[str, ScenarioConfig],
+               seeds: Iterable[int]) -> Dict[str, MultiSeedResult]:
+    """Run several named configurations over the same seed list.
+
+    Used by the protocol-comparison experiments: each protocol sees the
+    identical seeds, hence identical mobility and subscriber draws.
+    """
+    seed_list = list(seeds)
+    return {name: run_seeds(cfg, seed_list)
+            for name, cfg in configs.items()}

@@ -1,0 +1,363 @@
+"""Scenario construction and execution: one simulated world, end to end.
+
+A :class:`ScenarioConfig` fully describes an experiment trial: how many
+processes, how they move, who subscribes to what, which protocol they run,
+the radio, and which events get published when.  :func:`run_scenario`
+builds the world, runs warm-up + measurement window, and returns a
+:class:`ScenarioResult` exposing the paper's metrics.
+
+Topic layout
+------------
+Processes come in two populations, as in the paper's interest sweeps:
+
+* *subscribers* (``subscriber_fraction`` of processes) subscribe to
+  ``event_topic`` — they are entitled to the published events;
+* the rest subscribe to ``other_topic`` — an unrelated branch of the topic
+  tree, so published events are *parasite* events for them.
+
+The publishers of the scheduled publications are drawn from the subscriber
+population (the paper's scenarios always have the publisher interested in
+its own topic).
+"""
+
+from __future__ import annotations
+
+import abc
+import time as _wallclock
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import (CounterFlooding, GossipFlooding,
+                             InterestAwareFlooding,
+                             NeighborInterestFlooding, SimpleFlooding)
+from repro.core.base import PubSubProtocol
+from repro.core.config import FrugalConfig
+from repro.core.events import Event, EventFactory
+from repro.core.protocol import FrugalPubSub
+from repro.metrics import (MetricsCollector, ReliabilityReport,
+                           event_reliability, mean_reliability)
+from repro.mobility import (CitySection, MobilityModel, RandomWaypoint,
+                            Stationary, StreetMap, campus_map)
+from repro.net import (MediumConfig, Node, RadioConfig, SizeModel,
+                       WirelessMedium)
+from repro.sim import RngRegistry, Simulator
+
+PROTOCOLS = ("frugal", "simple-flooding", "interest-flooding",
+             "neighbor-flooding", "gossip-flooding", "counter-flooding")
+
+
+# --------------------------------------------------------------------------
+# Mobility specifications (picklable descriptions, built per node at setup)
+# --------------------------------------------------------------------------
+
+class MobilitySpec(abc.ABC):
+    """A declarative description of how every process moves."""
+
+    @abc.abstractmethod
+    def build(self, index: int) -> MobilityModel:
+        """Instantiate the mobility model for process ``index``."""
+
+
+@dataclass(frozen=True)
+class RandomWaypointSpec(MobilitySpec):
+    """Uniform random waypoint in a ``width x height`` rectangle."""
+
+    width: float
+    height: float
+    speed_min: float
+    speed_max: float
+    pause_time: float = 1.0
+
+    def build(self, index: int) -> MobilityModel:
+        if self.speed_max <= 0:
+            return Stationary(width=self.width, height=self.height)
+        return RandomWaypoint(self.width, self.height,
+                              self.speed_min, self.speed_max,
+                              pause_time=self.pause_time)
+
+
+@dataclass(frozen=True)
+class CitySectionSpec(MobilitySpec):
+    """Street-constrained mobility over the synthetic campus map."""
+
+    map_seed: int = 7
+    stop_probability: float = 0.3
+    stop_min: float = 2.0
+    stop_max: float = 15.0
+
+    def build(self, index: int) -> MobilityModel:
+        return CitySection(self.street_map(),
+                           stop_probability=self.stop_probability,
+                           stop_min=self.stop_min, stop_max=self.stop_max)
+
+    def street_map(self) -> StreetMap:
+        return _campus_map_cached(self.map_seed)
+
+
+def _campus_map_cached(seed: int) -> StreetMap:
+    cached = _MAP_CACHE.get(seed)
+    if cached is None:
+        cached = campus_map(seed=seed)
+        _MAP_CACHE[seed] = cached
+    return cached
+
+
+_MAP_CACHE: Dict[int, StreetMap] = {}
+
+
+@dataclass(frozen=True)
+class StationarySpec(MobilitySpec):
+    """Fixed random positions (the paper's 0 m/s configuration)."""
+
+    width: float
+    height: float
+
+    def build(self, index: int) -> MobilityModel:
+        return Stationary(width=self.width, height=self.height)
+
+
+# --------------------------------------------------------------------------
+# Publications
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Publication:
+    """One scheduled publish.
+
+    ``at`` is relative to the end of the warm-up window.  ``publisher``
+    is an index into the *subscriber* population (``None`` lets the
+    scenario pick the first subscriber), so publishers are always
+    interested in their own topic, as in the paper's experiments.
+    """
+
+    at: float
+    validity: float
+    topic: Optional[str] = None           # defaults to the event topic
+    publisher: Optional[int] = None       # subscriber-population index
+    payload_bytes: int = 400
+
+
+# --------------------------------------------------------------------------
+# Scenario configuration
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to reproduce one simulation trial bit-for-bit."""
+
+    n_processes: int
+    mobility: MobilitySpec
+    duration: float
+    warmup: float = 0.0
+    seed: int = 0
+    protocol: str = "frugal"
+    frugal: FrugalConfig = field(default_factory=FrugalConfig)
+    flood_period: float = 1.0
+    gossip_probability: float = 0.6
+    counter_threshold: int = 3
+    radio: RadioConfig = field(
+        default_factory=RadioConfig.paper_random_waypoint)
+    medium: MediumConfig = field(default_factory=MediumConfig)
+    sizes: SizeModel = field(default_factory=SizeModel)
+    subscriber_fraction: float = 1.0
+    event_topic: str = ".paper.events.demo"
+    other_topic: str = ".paper.other"
+    publications: Tuple[Publication, ...] = ()
+    speed_sensor: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_processes < 1:
+            raise ValueError("n_processes must be >= 1")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"protocol must be one of {PROTOCOLS}: "
+                             f"{self.protocol!r}")
+        if not 0.0 < self.subscriber_fraction <= 1.0:
+            raise ValueError("subscriber_fraction must be in (0, 1]")
+        for pub in self.publications:
+            if pub.at < 0 or pub.at >= self.duration:
+                raise ValueError(
+                    f"publication at {pub.at}s falls outside the "
+                    f"measurement window [0, {self.duration})")
+
+    def with_changes(self, **changes) -> "ScenarioConfig":
+        return replace(self, **changes)
+
+    # -- convenience presets --------------------------------------------------
+
+    @classmethod
+    def random_waypoint_demo(cls, seed: int = 0,
+                             n_processes: int = 20) -> "ScenarioConfig":
+        """A small, fast random-waypoint scenario for quickstarts/tests."""
+        return cls(
+            n_processes=n_processes,
+            mobility=RandomWaypointSpec(width=1500.0, height=1500.0,
+                                        speed_min=10.0, speed_max=10.0),
+            duration=120.0, warmup=10.0, seed=seed,
+            subscriber_fraction=0.8,
+            publications=(Publication(at=5.0, validity=90.0),))
+
+
+# --------------------------------------------------------------------------
+# Result
+# --------------------------------------------------------------------------
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    config: ScenarioConfig
+    collector: MetricsCollector
+    published_events: List[Event]
+    subscriber_ids: List[int]
+    non_subscriber_ids: List[int]
+    sim_events_processed: int
+    wallclock_s: float
+
+    # -- reliability -------------------------------------------------------------
+
+    def per_event_reports(self) -> List[ReliabilityReport]:
+        return [event_reliability(self.collector, event, self.subscriber_ids)
+                for event in self.published_events]
+
+    def reliability(self) -> float:
+        """Mean reliability across the scenario's publications."""
+        return mean_reliability(self.per_event_reports())
+
+    # -- frugality (per-process, over the measurement window) ----------------------
+
+    def bandwidth_per_process_bytes(self) -> float:
+        return self.collector.bandwidth_per_process_bytes()
+
+    def events_sent_per_process(self) -> float:
+        return self.collector.events_sent_per_process()
+
+    def duplicates_per_process(self) -> float:
+        return self.collector.duplicates_per_process()
+
+    def parasites_per_process(self) -> float:
+        return self.collector.parasites_per_process()
+
+    def summary(self) -> Dict[str, float]:
+        """The four paper metrics plus reliability, as a flat dict."""
+        return {
+            "reliability": self.reliability(),
+            "bandwidth_bytes": self.bandwidth_per_process_bytes(),
+            "events_sent": self.events_sent_per_process(),
+            "duplicates": self.duplicates_per_process(),
+            "parasites": self.parasites_per_process(),
+        }
+
+
+# --------------------------------------------------------------------------
+# Execution
+# --------------------------------------------------------------------------
+
+def make_protocol(config: ScenarioConfig) -> PubSubProtocol:
+    """Instantiate the protocol named by ``config.protocol``."""
+    if config.protocol == "frugal":
+        return FrugalPubSub(config.frugal)
+    if config.protocol == "simple-flooding":
+        return SimpleFlooding(flood_period=config.flood_period)
+    if config.protocol == "interest-flooding":
+        return InterestAwareFlooding(flood_period=config.flood_period)
+    if config.protocol == "neighbor-flooding":
+        return NeighborInterestFlooding(flood_period=config.flood_period)
+    if config.protocol == "gossip-flooding":
+        return GossipFlooding(probability=config.gossip_probability)
+    if config.protocol == "counter-flooding":
+        return CounterFlooding(threshold=config.counter_threshold)
+    raise ValueError(f"unknown protocol {config.protocol!r}")   # unreachable
+
+
+def select_subscribers(config: ScenarioConfig,
+                       rngs: RngRegistry) -> List[int]:
+    """Deterministically draw the subscriber population.
+
+    At least one process always subscribes (there must be a publisher);
+    the draw uses its own rng stream so that varying the fraction keeps
+    mobility traces identical across paired runs.
+    """
+    n_subs = max(1, round(config.subscriber_fraction * config.n_processes))
+    rng = rngs.stream("subscribers")
+    return sorted(rng.sample(range(config.n_processes), n_subs))
+
+
+def build_world(config: ScenarioConfig):
+    """Construct simulator, medium, nodes and collector (no events yet).
+
+    Exposed separately from :func:`run_scenario` so tests and examples can
+    poke at a fully wired world before/while it runs.
+    """
+    sim = Simulator()
+    rngs = RngRegistry(config.seed)
+    medium = WirelessMedium(sim, config.radio, config=config.medium,
+                            sizes=config.sizes, rng=rngs.stream("medium"))
+    collector = MetricsCollector(medium)
+    subscriber_ids = select_subscribers(config, rngs)
+    subscriber_set = set(subscriber_ids)
+    nodes: List[Node] = []
+    for i in range(config.n_processes):
+        protocol = make_protocol(config)
+        node = Node(i, sim, medium,
+                    mobility=config.mobility.build(i),
+                    protocol=protocol,
+                    rng=rngs.stream("node", i),
+                    speed_sensor=config.speed_sensor)
+        topic = (config.event_topic if i in subscriber_set
+                 else config.other_topic)
+        protocol.subscribe(topic)
+        collector.track_node(node)
+        nodes.append(node)
+    return sim, medium, collector, nodes, subscriber_ids
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Run one trial: warm-up, publications, measurement window."""
+    started = _wallclock.perf_counter()
+    sim, medium, collector, nodes, subscriber_ids = build_world(config)
+    subscriber_set = set(subscriber_ids)
+    non_subscribers = [n.id for n in nodes if n.id not in subscriber_set]
+
+    for node in nodes:
+        node.start()
+
+    # Warm-up: mobility mixes, neighbourhoods form; traffic is not counted
+    # (the paper discards the first 600 s of its random-waypoint runs).
+    if config.warmup > 0:
+        collector.freeze()
+        sim.run(until=config.warmup)
+        collector.resume()
+
+    # Schedule the publications.
+    published: List[Event] = []
+    factories: Dict[int, EventFactory] = {}
+
+    def do_publish(publisher_id: int, pub: Publication) -> None:
+        factory = factories.setdefault(publisher_id,
+                                       EventFactory(publisher_id))
+        event = factory.create(pub.topic or config.event_topic,
+                               validity=pub.validity, now=sim.now,
+                               payload_bytes=pub.payload_bytes)
+        published.append(event)
+        collector.record_publication(event)
+        nodes[publisher_id].protocol.publish(event)
+
+    for pub in config.publications:
+        idx = pub.publisher if pub.publisher is not None else 0
+        publisher_id = subscriber_ids[idx % len(subscriber_ids)]
+        sim.call_at(config.warmup + pub.at, do_publish, publisher_id, pub)
+
+    sim.run(until=config.warmup + config.duration)
+
+    return ScenarioResult(
+        config=config,
+        collector=collector,
+        published_events=published,
+        subscriber_ids=subscriber_ids,
+        non_subscriber_ids=non_subscribers,
+        sim_events_processed=sim.events_processed,
+        wallclock_s=_wallclock.perf_counter() - started)

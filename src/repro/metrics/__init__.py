@@ -1,0 +1,22 @@
+"""Measurement layer: the paper's four frugality metrics plus reliability.
+
+Everything is measured at the *medium* level (bytes on air, receptions)
+and the *application* level (deliveries), never inside a protocol — so the
+frugal protocol and the flooding baselines are scored by the same ruler.
+"""
+
+from repro.metrics.collector import MetricsCollector, NodeStats
+from repro.metrics.reliability import (ReliabilityReport, event_reliability,
+                                       mean_reliability, reliability_spread)
+from repro.metrics.trace import ProtocolTracer, TraceRecord
+
+__all__ = [
+    "MetricsCollector",
+    "NodeStats",
+    "ReliabilityReport",
+    "event_reliability",
+    "mean_reliability",
+    "reliability_spread",
+    "ProtocolTracer",
+    "TraceRecord",
+]

@@ -1,0 +1,80 @@
+"""Reliability: the probability of event reception (Figs. 11-16).
+
+The paper's reliability of an event is the fraction of processes subscribed
+to the event's topic that receive it before its validity period ends
+(e.g. "an event with a validity period of 180 seconds is received by 95 %
+of the 120 devices", Section 1).  The publisher counts as having received
+its own publication — it delivers it locally at publish time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.events import Event, EventId
+from repro.metrics.collector import MetricsCollector
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """Delivery outcome of one event across its subscriber population."""
+
+    event_id: EventId
+    subscribers: int
+    delivered_in_time: int
+    delivered_late: int
+
+    @property
+    def reliability(self) -> float:
+        """Fraction of subscribers that received the event in time."""
+        if self.subscribers == 0:
+            return 0.0
+        return self.delivered_in_time / self.subscribers
+
+    def __str__(self) -> str:
+        return (f"{self.event_id}: {self.delivered_in_time}/"
+                f"{self.subscribers} = {self.reliability:.1%}")
+
+
+def event_reliability(collector: MetricsCollector, event: Event,
+                      subscriber_ids: Iterable[int]) -> ReliabilityReport:
+    """Compute one event's :class:`ReliabilityReport`.
+
+    ``subscriber_ids`` is the population entitled to the event (determined
+    by the scenario, which knows who subscribed to what); deliveries after
+    the validity expiry are tallied separately as late.
+    """
+    subscriber_ids = list(subscriber_ids)
+    times = collector.deliveries_of(event.event_id)
+    in_time = 0
+    late = 0
+    for node_id in subscriber_ids:
+        t = times.get(node_id)
+        if t is None:
+            continue
+        if t <= event.expires_at:
+            in_time += 1
+        else:
+            late += 1
+    return ReliabilityReport(event_id=event.event_id,
+                             subscribers=len(subscriber_ids),
+                             delivered_in_time=in_time,
+                             delivered_late=late)
+
+
+def mean_reliability(reports: Sequence[ReliabilityReport]) -> float:
+    """Average reliability over several events (Fig. 17-20 scenarios
+    publish up to 20) or several publisher rotations (Figs. 13-16)."""
+    if not reports:
+        return 0.0
+    return sum(r.reliability for r in reports) / len(reports)
+
+
+def reliability_spread(reports: Sequence[ReliabilityReport]) -> float:
+    """Max-min reliability across reports — the paper's Fig. 15 metric
+    ("difference of reliability between the publishers")."""
+    if not reports:
+        return 0.0
+    values = [r.reliability for r in reports]
+    return max(values) - min(values)

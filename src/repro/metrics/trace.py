@@ -1,0 +1,141 @@
+"""Protocol tracing: a typed, queryable log of everything on the air.
+
+Where :class:`~repro.metrics.collector.MetricsCollector` keeps aggregate
+counters, the tracer records *individual* occurrences — every
+transmission, reception, drop and delivery — so examples and debugging
+sessions can reconstruct exactly how an event travelled through the
+network (who seeded whom, where the duplicates came from, which frames
+collided).
+
+Tracing every frame costs memory proportional to traffic, so the tracer
+is opt-in and never attached by the scenario harness; see
+``dissemination_timeline`` for the main analysis entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.core.events import Event, EventId
+from repro.net.medium import WirelessMedium
+from repro.net.messages import EventBatch, Message
+from repro.net.node import Node
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    ``kind`` is one of ``tx``, ``rx``, ``drop`` or ``deliver``;
+    ``detail`` carries the message kind for tx/rx, the drop reason for
+    drops and the event id for deliveries.
+    """
+
+    time: float
+    kind: str
+    node: int
+    detail: str
+    size_bytes: int = 0
+    event_ids: tuple = ()
+
+    def __str__(self) -> str:
+        extra = f" {self.size_bytes}B" if self.size_bytes else ""
+        ids = f" [{', '.join(map(str, self.event_ids))}]" \
+            if self.event_ids else ""
+        return (f"t={self.time:9.4f}  {self.kind:7s} node={self.node:<4d}"
+                f" {self.detail}{extra}{ids}")
+
+
+class ProtocolTracer:
+    """Record a full air-interface trace of a simulation.
+
+    Chains onto the medium's observability hooks (preserving any
+    already-installed callbacks such as a metrics collector's) and each
+    tracked node's delivery callback.
+    """
+
+    def __init__(self, medium: WirelessMedium,
+                 max_records: Optional[int] = None):
+        self.medium = medium
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self._prev_transmit = medium.on_transmit
+        self._prev_receive = medium.on_receive
+        self._prev_drop = medium.on_drop
+        medium.on_transmit = self._on_transmit
+        medium.on_receive = self._on_receive
+        medium.on_drop = self._on_drop
+        self._prev_deliver: Dict[int, Optional[Callable]] = {}
+
+    def track_node(self, node: Node) -> None:
+        self._prev_deliver[node.id] = node.on_deliver
+        node.on_deliver = self._on_deliver
+
+    # -- hook chain -----------------------------------------------------------
+
+    def _append(self, record: TraceRecord) -> None:
+        if self.max_records is None or len(self.records) < self.max_records:
+            self.records.append(record)
+
+    @staticmethod
+    def _ids_of(message: Message) -> tuple:
+        if isinstance(message, EventBatch):
+            return tuple(e.event_id for e in message.events)
+        return ()
+
+    def _on_transmit(self, sender: int, message: Message,
+                     size: int) -> None:
+        self._append(TraceRecord(self.medium.sim.now, "tx", sender,
+                                 message.kind, size,
+                                 self._ids_of(message)))
+        if self._prev_transmit is not None:
+            self._prev_transmit(sender, message, size)
+
+    def _on_receive(self, receiver: int, message: Message) -> None:
+        self._append(TraceRecord(self.medium.sim.now, "rx", receiver,
+                                 message.kind,
+                                 event_ids=self._ids_of(message)))
+        if self._prev_receive is not None:
+            self._prev_receive(receiver, message)
+
+    def _on_drop(self, receiver: int, message: Message,
+                 reason: str) -> None:
+        self._append(TraceRecord(self.medium.sim.now, "drop", receiver,
+                                 f"{message.kind}:{reason}",
+                                 event_ids=self._ids_of(message)))
+        if self._prev_drop is not None:
+            self._prev_drop(receiver, message, reason)
+
+    def _on_deliver(self, node: Node, event: Event) -> None:
+        self._append(TraceRecord(node.sim.now, "deliver", node.id,
+                                 str(event.topic),
+                                 event_ids=(event.event_id,)))
+        prev = self._prev_deliver.get(node.id)
+        if prev is not None:
+            prev(node, event)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def involving(self, event_id: EventId) -> List[TraceRecord]:
+        return [r for r in self.records if event_id in r.event_ids]
+
+    def dissemination_timeline(self, event_id: EventId) -> str:
+        """Human-readable story of one event's journey."""
+        lines = [str(r) for r in self.involving(event_id)]
+        if not lines:
+            return f"(no trace records involve {event_id})"
+        return "\n".join(lines)
+
+    def collisions(self) -> List[TraceRecord]:
+        return [r for r in self.records
+                if r.kind == "drop" and r.detail.endswith(":collision")]

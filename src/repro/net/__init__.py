@@ -1,0 +1,43 @@
+"""Wireless network substrate.
+
+The paper runs its protocol directly on an 802.11b broadcast MAC inside
+Qualnet.  This subpackage is our from-scratch equivalent:
+
+* :mod:`repro.net.radio` — transmit power / receiver sensitivity / path
+  loss math that derives communication radii (the paper's 442 m RWP and
+  44 m city-section ranges are presets),
+* :mod:`repro.net.messages` — the three protocol messages (heartbeat,
+  event-id list, event batch) with an explicit wire-size model so
+  bandwidth accounting matches the paper's byte counts (50 B heartbeats,
+  128-bit event ids, 400 B events),
+* :mod:`repro.net.medium` — a shared broadcast medium with carrier sense,
+  finite transmission durations and receiver-side collisions (no capture),
+* :mod:`repro.net.node` — binds a protocol + mobility model + metrics to
+  the medium and exposes the small host interface protocols program to.
+"""
+
+from repro.net.radio import (PathLossModel, RadioConfig, dbm_to_mw,
+                             mw_to_dbm, free_space_path_loss_db,
+                             two_ray_path_loss_db)
+from repro.net.messages import (Heartbeat, EventIdList, EventBatch,
+                                Message, SizeModel)
+from repro.net.medium import WirelessMedium, MediumConfig, Transmission
+from repro.net.node import Node
+
+__all__ = [
+    "PathLossModel",
+    "RadioConfig",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "free_space_path_loss_db",
+    "two_ray_path_loss_db",
+    "Heartbeat",
+    "EventIdList",
+    "EventBatch",
+    "Message",
+    "SizeModel",
+    "WirelessMedium",
+    "MediumConfig",
+    "Transmission",
+    "Node",
+]

@@ -1,0 +1,222 @@
+"""The shared broadcast wireless medium.
+
+This is the substrate standing in for Qualnet's 802.11b PHY/MAC.  It models
+exactly the phenomena the paper's results depend on:
+
+* **broadcast locality** — a frame reaches every node within the sender's
+  communication radius, and nobody else (one-hop sends only, Section 2);
+* **finite airtime** — a frame occupies the channel for
+  ``preamble + bits/rate`` seconds;
+* **carrier sense** — a node that senses an audible ongoing transmission
+  defers with a random back-off before retrying (CSMA), bounded by
+  ``max_csma_retries`` after which the frame is sent anyway (matching
+  802.11 behaviour of eventually seizing a busy channel);
+* **collisions** — a reception fails when two transmissions audible at the
+  *receiver* overlap in time (no capture effect), and while the receiver is
+  itself transmitting (half-duplex).  Fig. 13's non-monotonic heartbeat
+  result is explicitly attributed to collisions, so this is load-bearing;
+* **optional uniform frame loss** — fading/interference hook for failure-
+  injection tests.
+
+Positions are sampled from each node's mobility model at transmission
+start; at pedestrian/vehicular speeds and millisecond airtimes the
+displacement within a frame is negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.net.messages import Message, SizeModel
+from repro.net.radio import RadioConfig
+from repro.sim.kernel import Simulator
+from repro.sim.space import Vec2
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+@dataclass(frozen=True)
+class MediumConfig:
+    """Medium/MAC behaviour knobs."""
+
+    csma_enabled: bool = True
+    max_csma_retries: int = 6
+    csma_backoff_min_s: float = 0.5e-3
+    csma_backoff_max_s: float = 4e-3
+    frame_loss_probability: float = 0.0
+    model_collisions: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.frame_loss_probability <= 1.0:
+            raise ValueError("frame_loss_probability must be in [0,1]")
+        if self.csma_backoff_min_s < 0 or \
+                self.csma_backoff_max_s < self.csma_backoff_min_s:
+            raise ValueError("need 0 <= backoff_min <= backoff_max")
+
+
+@dataclass
+class Transmission:
+    """One frame on the air."""
+
+    sender: int
+    sender_pos: Vec2
+    range_m: float
+    start: float
+    end: float
+    message: Message
+
+    def overlaps(self, other: "Transmission") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def audible_at(self, pos: Vec2) -> bool:
+        return self.sender_pos.distance_to(pos) <= self.range_m
+
+
+class WirelessMedium:
+    """Broadcast medium shared by all nodes of a simulation."""
+
+    def __init__(self, sim: Simulator, radio: RadioConfig,
+                 config: MediumConfig | None = None,
+                 sizes: SizeModel | None = None,
+                 rng=None):
+        self.sim = sim
+        self.radio = radio
+        self.config = config or MediumConfig()
+        self.sizes = sizes or SizeModel()
+        self._rng = rng
+        self._nodes: Dict[int, "Node"] = {}
+        self._active: List[Transmission] = []
+        self._history: List[Transmission] = []   # recent, for collision checks
+        # Observability hooks (metrics collector subscribes to these).
+        self.on_transmit: Optional[Callable[[int, Message, int], None]] = None
+        self.on_receive: Optional[Callable[[int, Message], None]] = None
+        self.on_drop: Optional[Callable[[int, Message, str], None]] = None
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_collided = 0
+        self.frames_lost_random = 0
+
+    # -- membership ---------------------------------------------------------------
+
+    def register(self, node: "Node") -> None:
+        if node.id in self._nodes:
+            raise ValueError(f"duplicate node id {node.id}")
+        self._nodes[node.id] = node
+
+    def unregister(self, node_id: int) -> None:
+        self._nodes.pop(node_id, None)
+
+    @property
+    def nodes(self) -> Dict[int, "Node"]:
+        return self._nodes
+
+    # -- sending --------------------------------------------------------------------
+
+    def broadcast(self, sender_id: int, message: Message) -> None:
+        """Entry point used by nodes; applies carrier sense then transmits."""
+        self._attempt_send(sender_id, message, attempt=0)
+
+    def _attempt_send(self, sender_id: int, message: Message,
+                      attempt: int) -> None:
+        sender = self._nodes.get(sender_id)
+        if sender is None or not sender.alive:
+            return  # sender crashed while the frame was queued
+        pos = sender.position()
+        if (self.config.csma_enabled
+                and attempt < self.config.max_csma_retries
+                and self._channel_busy(pos)):
+            delay = self._csma_delay()
+            self.sim.schedule(delay, self._attempt_send, sender_id,
+                              message, attempt + 1)
+            return
+        self._transmit(sender, pos, message)
+
+    def _csma_delay(self) -> float:
+        lo = self.config.csma_backoff_min_s
+        hi = self.config.csma_backoff_max_s
+        if self._rng is None or hi <= lo:
+            return lo
+        return self._rng.uniform(lo, hi)
+
+    def _channel_busy(self, pos: Vec2) -> bool:
+        """Any audible transmission defers a sender — including its *own*
+        in-flight frame, which is how a half-duplex MAC serialises a
+        node's back-to-back sends instead of corrupting both."""
+        now = self.sim.now
+        self._prune_active(now)
+        return any(t.audible_at(pos) for t in self._active)
+
+    def _prune_active(self, now: float) -> None:
+        if self._active:
+            self._active = [t for t in self._active if t.end > now]
+
+    def _transmit(self, sender: "Node", pos: Vec2, message: Message) -> None:
+        now = self.sim.now
+        size = message.size_bytes(self.sizes)
+        duration = self.radio.transmission_duration_s(size)
+        tx = Transmission(sender=sender.id, sender_pos=pos,
+                          range_m=self.radio.communication_range_m(),
+                          start=now, end=now + duration, message=message)
+        self._prune_active(now)
+        self._active.append(tx)
+        self._history.append(tx)
+        self._trim_history(now)
+        self.frames_sent += 1
+        if self.on_transmit is not None:
+            self.on_transmit(sender.id, message, size)
+        # Snapshot receivers at transmission start.
+        for node in self._nodes.values():
+            if node.id == sender.id or not node.alive:
+                continue
+            rx_pos = node.position()
+            if tx.audible_at(rx_pos):
+                self.sim.schedule(duration, self._deliver, tx, node.id,
+                                  rx_pos)
+
+    def _trim_history(self, now: float) -> None:
+        # Keep only transmissions that can still collide with a live one.
+        horizon = now - 1.0
+        if len(self._history) > 256:
+            self._history = [t for t in self._history if t.end >= horizon]
+
+    # -- receiving -------------------------------------------------------------------
+
+    def _deliver(self, tx: Transmission, receiver_id: int,
+                 rx_pos: Vec2) -> None:
+        node = self._nodes.get(receiver_id)
+        if node is None or not node.alive:
+            return
+        if self.config.model_collisions and self._corrupted(tx, receiver_id,
+                                                            rx_pos):
+            self.frames_collided += 1
+            if self.on_drop is not None:
+                self.on_drop(receiver_id, tx.message, "collision")
+            return
+        if (self.config.frame_loss_probability > 0.0
+                and self._rng is not None
+                and self._rng.random() < self.config.frame_loss_probability):
+            self.frames_lost_random += 1
+            if self.on_drop is not None:
+                self.on_drop(receiver_id, tx.message, "loss")
+            return
+        self.frames_delivered += 1
+        if self.on_receive is not None:
+            self.on_receive(receiver_id, tx.message)
+        node.receive(tx.message)
+
+    def _corrupted(self, tx: Transmission, receiver_id: int,
+                   rx_pos: Vec2) -> bool:
+        """A frame is corrupted when another audible frame overlapped it,
+        or when the receiver was transmitting itself (half-duplex)."""
+        for other in self._history:
+            if other is tx:
+                continue
+            if not other.overlaps(tx):
+                continue
+            if other.sender == receiver_id:
+                return True
+            if other.audible_at(rx_pos):
+                return True
+        return False

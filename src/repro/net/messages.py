@@ -1,0 +1,101 @@
+"""Protocol messages and their wire-size model.
+
+The paper's bandwidth accounting (Fig. 17) fixes: heartbeat = 50 bytes,
+event identifier = 128 bits (16 bytes), event payload = 400 bytes.  The
+:class:`SizeModel` centralises these constants so experiments can reproduce
+the paper's byte counts exactly and ablations can vary them.
+
+Three message kinds cross the air (Sections 4.2-4.3):
+
+* :class:`Heartbeat` — ``(process id, subscriptions, [speed])``,
+* :class:`EventIdList` — the identifiers of the still-valid events a
+  process holds for the topics it shares with a new neighbour,
+* :class:`EventBatch` — actual events plus the list of neighbour ids the
+  sender believes are interested (overhearers use it to update their view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from repro.core.events import Event, EventId
+from repro.core.topics import Topic
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """Byte costs used for bandwidth accounting.
+
+    ``heartbeat_bytes`` is charged as a flat cost per heartbeat (the paper
+    fixes 50 bytes regardless of subscription count); id lists and batches
+    are charged per element on top of a small header.
+    """
+
+    heartbeat_bytes: int = 50
+    event_id_bytes: int = 16           # 128-bit identifiers
+    node_id_bytes: int = 4
+    header_bytes: int = 8
+
+    def heartbeat(self) -> int:
+        return self.heartbeat_bytes
+
+    def event_id_list(self, n_ids: int) -> int:
+        return self.header_bytes + n_ids * self.event_id_bytes
+
+    def event_batch(self, payload_bytes_total: int, n_events: int,
+                    n_neighbor_ids: int) -> int:
+        return (self.header_bytes
+                + payload_bytes_total
+                + n_events * self.event_id_bytes
+                + n_neighbor_ids * self.node_id_bytes)
+
+
+class Message:
+    """Base class for everything the medium carries."""
+
+    sender: int
+
+    def size_bytes(self, sizes: SizeModel) -> int:
+        raise NotImplementedError
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Periodic presence beacon (paper Fig. 6, lines 2-4)."""
+
+    sender: int
+    subscriptions: FrozenSet[Topic]
+    speed: float | None = None
+
+    def size_bytes(self, sizes: SizeModel) -> int:
+        return sizes.heartbeat()
+
+
+@dataclass(frozen=True)
+class EventIdList(Message):
+    """Identifiers of held, still-valid events (paper Fig. 6, line 21)."""
+
+    sender: int
+    event_ids: Tuple[EventId, ...]
+
+    def size_bytes(self, sizes: SizeModel) -> int:
+        return sizes.event_id_list(len(self.event_ids))
+
+
+@dataclass(frozen=True)
+class EventBatch(Message):
+    """Events plus the interested-neighbour id list (paper Fig. 9, line 5)."""
+
+    sender: int
+    events: Tuple[Event, ...]
+    neighbor_ids: Tuple[int, ...] = ()
+
+    def size_bytes(self, sizes: SizeModel) -> int:
+        payload = sum(e.payload_bytes for e in self.events)
+        return sizes.event_batch(payload, len(self.events),
+                                 len(self.neighbor_ids))

@@ -1,0 +1,140 @@
+"""The node: glue between protocol, mobility, radio medium and metrics.
+
+A :class:`Node` implements the :class:`repro.core.base.Host` interface the
+protocols program against, adding crash/recover failure injection (the
+paper's model allows processes to "crash (or recover) at any time",
+Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.base import PubSubProtocol
+from repro.core.events import Event
+from repro.mobility.base import MobilityModel
+from repro.net.medium import WirelessMedium
+from repro.net.messages import Message
+from repro.sim.kernel import PeriodicTask, Simulator, Timer
+from repro.sim.space import Vec2
+
+
+class Node:
+    """One mobile device running a pub/sub protocol instance."""
+
+    def __init__(self, node_id: int, sim: Simulator, medium: WirelessMedium,
+                 mobility: MobilityModel, protocol: PubSubProtocol,
+                 rng, speed_sensor: bool = True):
+        self.id = node_id
+        self.sim = sim
+        self.medium = medium
+        self.mobility = mobility
+        self.protocol = protocol
+        self._rng = rng
+        self.speed_sensor = speed_sensor
+        self.alive = False
+        self._started = False
+        self._timers: List[Timer] = []
+        self._periodics: List[PeriodicTask] = []
+        self.delivered_events: List[Event] = []
+        self.on_deliver: Optional[Callable[["Node", Event], None]] = None
+        protocol.attach(self)
+        medium.register(self)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Boot the node: begin moving and start the protocol."""
+        if self._started:
+            raise RuntimeError(f"node {self.id} already started")
+        self._started = True
+        self.alive = True
+        if not self.mobility.started:
+            self.mobility.start(self.sim, self._rng)
+        self.protocol.on_start()
+
+    def crash(self) -> None:
+        """Fail-stop: cancel all protocol timers, go deaf and mute.
+
+        The mobility model keeps moving the host device (a crashed process
+        sits on a still-moving vehicle).
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.protocol.on_stop()
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        for task in self._periodics:
+            task.stop()
+        self._periodics.clear()
+
+    def recover(self) -> None:
+        """Restart the protocol after a crash (volatile state was lost)."""
+        if self.alive:
+            return
+        self.alive = True
+        self.protocol.on_start()
+
+    # -- Host interface ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def rng(self):
+        return self._rng
+
+    def send(self, message: Message) -> None:
+        if not self.alive:
+            return
+        self.medium.broadcast(self.id, message)
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args) -> Timer:
+        timer = self.sim.schedule(delay, self._guarded, callback, args)
+        self._timers.append(timer)
+        if len(self._timers) > 64:
+            self._timers = [t for t in self._timers if t.active]
+        return timer
+
+    def _guarded(self, callback: Callable[..., None], args: tuple) -> None:
+        if self.alive:
+            callback(*args)
+
+    def periodic(self, period: float, callback: Callable[[], None],
+                 jitter: float = 0.0) -> PeriodicTask:
+        task = PeriodicTask(self.sim, period, callback, jitter=jitter,
+                            rng=self._rng)
+        self._periodics.append(task)
+        return task
+
+    def deliver(self, event: Event) -> None:
+        self.delivered_events.append(event)
+        if self.on_deliver is not None:
+            self.on_deliver(self, event)
+
+    def current_speed(self) -> Optional[float]:
+        """Own speed in m/s, or ``None`` without a tachometer.
+
+        The paper treats speed as optional heartbeat payload; ``None``
+        cleanly distinguishes "no sensor" from a true 0 m/s reading.
+        """
+        if not self.speed_sensor or not self.mobility.started:
+            return None
+        return self.mobility.current_speed()
+
+    # -- medium interface ---------------------------------------------------------------
+
+    def position(self) -> Vec2:
+        return self.mobility.position()
+
+    def receive(self, message: Message) -> None:
+        if self.alive:
+            self.protocol.on_message(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return f"<Node {self.id} {state} {type(self.protocol).__name__}>"

@@ -1,0 +1,17 @@
+"""Shared pytest fixtures for the reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import RngRegistry, Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry(1234)

@@ -1,0 +1,78 @@
+"""Shared test utilities.
+
+:class:`FakeHost` drives a protocol instance without any radio, mobility
+or medium: sent messages accumulate in ``sent``, timers run on a private
+simulator kernel, and the test advances time explicitly.  This is what
+lets the protocol unit tests exercise the paper's pseudocode line by line.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.events import Event, EventFactory
+from repro.net.messages import Message
+from repro.sim.kernel import PeriodicTask, Simulator
+
+
+class FakeHost:
+    """A scripted :class:`repro.core.base.Host` implementation."""
+
+    def __init__(self, host_id: int = 0, seed: int = 0,
+                 speed: Optional[float] = None):
+        self.id = host_id
+        self.sim = Simulator()
+        self._rng = random.Random(seed)
+        self.speed: Optional[float] = speed
+        self.sent: List[Message] = []
+        self.delivered: List[Event] = []
+
+    # -- Host interface --------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    def send(self, message: Message) -> None:
+        self.sent.append(message)
+
+    def schedule(self, delay: float, callback, *args):
+        return self.sim.schedule(delay, callback, *args)
+
+    def periodic(self, period: float, callback, jitter: float = 0.0):
+        return PeriodicTask(self.sim, period, callback, jitter=jitter,
+                            rng=self._rng)
+
+    def deliver(self, event: Event) -> None:
+        self.delivered.append(event)
+
+    def current_speed(self) -> Optional[float]:
+        return self.speed
+
+    # -- test conveniences ----------------------------------------------------------
+
+    def advance(self, seconds: float) -> None:
+        """Run the private kernel forward by ``seconds``."""
+        self.sim.run(until=self.sim.now + seconds)
+
+    def sent_of_kind(self, kind: type) -> List[Message]:
+        return [m for m in self.sent if isinstance(m, kind)]
+
+    def clear(self) -> None:
+        self.sent.clear()
+        self.delivered.clear()
+
+
+def make_event(publisher: int = 99, seq: int = 0, topic: str = ".t",
+               validity: float = 60.0, now: float = 0.0,
+               payload_bytes: int = 400) -> Event:
+    """One-liner event construction for tests."""
+    factory = EventFactory(publisher)
+    factory._next_seq = seq
+    return factory.create(topic, validity=validity, now=now,
+                          payload_bytes=payload_bytes)

@@ -1,0 +1,50 @@
+"""Tests for the experiment CLI (repro.harness.cli)."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig13"])
+        assert args.experiment == "fig13"
+        assert args.scale is None and args.csv is None
+
+    def test_scale_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig13", "--scale", "huge"])
+
+
+class TestMain:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for figure in ("fig11", "fig20", "abl-gc"):
+            assert figure in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["figXX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_experiment_and_writes_csv(self, capsys, tmp_path,
+                                            monkeypatch):
+        # Pin the run to a tiny scale so the test stays fast: the CLI looks
+        # the experiment up in ALL_EXPERIMENTS, which we can patch.
+        from repro.harness import cli
+        from repro.harness.experiments import fig13
+        from tests.test_experiments import TINY
+        monkeypatch.setitem(cli.ALL_EXPERIMENTS, "fig13",
+                            lambda scale: fig13(TINY))
+        path = tmp_path / "fig13.csv"
+        assert main(["fig13", "--csv", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out
+        assert "hb_upper" in out
+        with open(path) as f:
+            rows = list(csv.DictReader(f))
+        assert len(rows) == 3          # TINY sweeps 1/3/5 s bounds

@@ -1,0 +1,105 @@
+"""Unit tests for protocol configuration (repro.core.config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FrugalConfig
+
+
+class TestDefaults:
+    def test_paper_section51_values(self):
+        cfg = FrugalConfig.paper_random_waypoint()
+        assert cfg.x == 40.0
+        assert cfg.hb2bo == 2.0
+        assert cfg.hb2ngc == 2.5
+        assert cfg.hb_upper_bound == 1.0
+
+    def test_default_hb_delay_is_fig4_15_seconds(self):
+        assert FrugalConfig().hb_delay == 15.0
+
+    def test_city_preset_sweeps_upper_bound(self):
+        cfg = FrugalConfig.paper_city_section(hb_upper_bound=3.0)
+        assert cfg.hb_upper_bound == 3.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("hb_delay", 0.0),
+        ("x", -1.0),
+        ("hb_lower_bound", 0.0),
+        ("hb2ngc", 0.0),
+        ("hb2bo", -2.0),
+        ("hb_jitter", -0.1),
+        ("backoff_jitter_frac", -0.5),
+        ("event_table_capacity", 0),
+        ("eviction_policy", "lru"),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            FrugalConfig(**{field: value})
+
+    def test_bounds_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            FrugalConfig(hb_lower_bound=2.0, hb_upper_bound=1.0)
+
+    def test_unbounded_event_table_allowed(self):
+        assert FrugalConfig(event_table_capacity=None) \
+            .event_table_capacity is None
+
+
+class TestDerivedDelays:
+    def test_ngc_delay_is_hb_times_factor(self):
+        cfg = FrugalConfig(hb2ngc=2.5)
+        assert cfg.ngc_delay(2.0) == 5.0
+
+    def test_backoff_shrinks_with_more_events(self):
+        """Fig. 1 part II: p1 with more events gets the shorter back-off."""
+        cfg = FrugalConfig(hb2bo=2.0)
+        assert cfg.backoff_delay(1.0, 3) < cfg.backoff_delay(1.0, 1)
+        assert cfg.backoff_delay(1.0, 1) == 0.5
+        assert cfg.backoff_delay(1.0, 2) == 0.25
+
+    def test_backoff_requires_something_to_send(self):
+        with pytest.raises(ValueError):
+            FrugalConfig().backoff_delay(1.0, 0)
+
+
+class TestAdaptedHbDelay:
+    def test_fig8_rule_x_over_speed(self):
+        cfg = FrugalConfig(x=40.0, hb_upper_bound=10.0, hb_lower_bound=0.1)
+        assert cfg.adapted_hb_delay(10.0, current=15.0) == 4.0
+
+    def test_clamped_to_upper_bound(self):
+        cfg = FrugalConfig(x=40.0, hb_upper_bound=1.0)
+        assert cfg.adapted_hb_delay(10.0, current=15.0) == 1.0
+
+    def test_clamped_to_lower_bound(self):
+        cfg = FrugalConfig(x=40.0, hb_lower_bound=0.5, hb_upper_bound=1.0)
+        assert cfg.adapted_hb_delay(1000.0, current=15.0) == 0.5
+
+    def test_no_speed_info_still_clamps(self):
+        """Fig. 8 lines 7-8 sit outside the conditional: even a static
+        network converges to the upper bound."""
+        cfg = FrugalConfig(hb_upper_bound=1.0)
+        assert cfg.adapted_hb_delay(None, current=15.0) == 1.0
+
+    def test_zero_average_speed_treated_as_no_info(self):
+        cfg = FrugalConfig(hb_upper_bound=1.0)
+        assert cfg.adapted_hb_delay(0.0, current=15.0) == 1.0
+
+    def test_adaptive_disabled_pins_to_upper_bound(self):
+        cfg = FrugalConfig(adaptive_heartbeat=False, hb_upper_bound=5.0)
+        assert cfg.adapted_hb_delay(10.0, current=2.0) == 5.0
+
+
+class TestWithChanges:
+    def test_returns_modified_copy(self):
+        base = FrugalConfig()
+        derived = base.with_changes(x=80.0)
+        assert derived.x == 80.0
+        assert base.x == 40.0
+
+    def test_changes_are_validated(self):
+        with pytest.raises(ValueError):
+            FrugalConfig().with_changes(hb2bo=0.0)

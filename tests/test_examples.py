@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs end to end and prints sane
+output.  Examples are the library's public face; a broken example is a
+broken deliverable."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main(seed=1)
+        out = capsys.readouterr().out
+        assert "Reliability:" in out
+        assert "bandwidth" in out
+
+    def test_car_park(self, capsys):
+        load_example("car_park").main(seed=3)
+        out = capsys.readouterr().out
+        assert "publishes a free spot" in out
+        assert "Total bytes on air" in out
+
+    def test_campus_conference(self, capsys):
+        load_example("campus_conference").main(seed=5)
+        out = capsys.readouterr().out
+        assert "Announcements published:" in out
+        # The cafeteria-only attendee must never see conference events.
+        gus_line = [l for l in out.splitlines() if l.strip().
+                    startswith("gus")][0]
+        assert "." not in gus_line.split(".epfl.cafeteria")[1].split(
+            "parasites")[0].replace("-", "").strip()
+
+    def test_trace_dissemination(self, capsys):
+        load_example("trace_dissemination").main(seed=2)
+        out = capsys.readouterr().out
+        assert "6/6 nodes delivered" in out
+        assert "deliver node=5" in out
+
+    @pytest.mark.slow
+    def test_protocol_comparison(self, capsys):
+        load_example("protocol_comparison").main(n_events=2, interest=0.6)
+        out = capsys.readouterr().out
+        assert "frugal" in out and "simple-flooding" in out
+        # Parse the table (the separator row contains no pipes) and check
+        # the frugality ordering.
+        lines = [l for l in out.splitlines() if "|" in l]
+        header = [c.strip() for c in lines[0].split("|")]
+        bw_col = header.index("bandwidth [kB]")
+        rows = {l.split("|")[0].strip():
+                float(l.split("|")[bw_col]) for l in lines[1:]}
+        assert rows["frugal"] < rows["simple-flooding"]

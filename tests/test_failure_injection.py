@@ -1,0 +1,133 @@
+"""Failure injection: crashes, recoveries and lossy channels.
+
+The paper's model (Section 2) lets processes "crash (or recover) at any
+time" and runs over a collision-prone broadcast medium; these tests verify
+the protocol degrades gracefully rather than wedging.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FrugalConfig, FrugalPubSub
+from repro.core.events import EventFactory
+from repro.metrics import MetricsCollector
+from repro.mobility import Stationary
+from repro.net import MediumConfig, Node, RadioConfig, WirelessMedium
+from repro.sim import RngRegistry, Simulator
+from repro.sim.space import Vec2
+
+
+def build_cluster(sim, rngs, n=4, spacing=50.0, medium_config=None):
+    medium = WirelessMedium(sim, RadioConfig(range_override_m=300.0),
+                            config=medium_config,
+                            rng=rngs.stream("medium"))
+    collector = MetricsCollector(medium)
+    nodes = []
+    for i in range(n):
+        proto = FrugalPubSub(FrugalConfig())
+        node = Node(i, sim, medium,
+                    Stationary(position=Vec2(i * spacing, 0.0)),
+                    proto, rngs.stream("node", i))
+        proto.subscribe(".a")
+        collector.track_node(node)
+        nodes.append(node)
+    for node in nodes:
+        node.start()
+    return medium, collector, nodes
+
+
+class TestCrashRecover:
+    def test_crashed_node_misses_event_then_catches_up(self, sim, rngs):
+        _, _, nodes = build_cluster(sim, rngs)
+        victim = nodes[3]
+        sim.run(until=2.5)
+        victim.crash()
+        event = EventFactory(0).create(".a.x", validity=300.0, now=sim.now)
+        nodes[0].protocol.publish(event)
+        sim.run(until=6.0)
+        assert victim.delivered_events == []
+        victim.recover()
+        sim.run(until=20.0)
+        # Recovered with empty state, re-announces via heartbeats, gets
+        # the still-valid event from any holder.
+        assert victim.delivered_events == [event]
+
+    def test_recovery_after_validity_expiry_gets_nothing(self, sim, rngs):
+        _, _, nodes = build_cluster(sim, rngs)
+        victim = nodes[3]
+        sim.run(until=2.5)
+        victim.crash()
+        event = EventFactory(0).create(".a.x", validity=5.0, now=sim.now)
+        nodes[0].protocol.publish(event)
+        sim.run(until=20.0)                 # validity long gone
+        victim.recover()
+        sim.run(until=40.0)
+        assert victim.delivered_events == []
+
+    def test_publisher_crash_does_not_kill_dissemination(self, sim, rngs):
+        """Once the event reached one neighbour, the publisher is no
+        longer needed (store-and-forward epidemic property)."""
+        _, _, nodes = build_cluster(sim, rngs)
+        late = nodes[3]
+        sim.run(until=2.5)
+        late.crash()
+        event = EventFactory(0).create(".a.x", validity=300.0, now=sim.now)
+        nodes[0].protocol.publish(event)
+        sim.run(until=6.0)
+        nodes[0].crash()                      # publisher dies
+        late.recover()
+        sim.run(until=25.0)
+        assert late.delivered_events == [event]
+
+    def test_mass_crash_leaves_survivors_consistent(self, sim, rngs):
+        _, _, nodes = build_cluster(sim, rngs, n=6)
+        sim.run(until=2.5)
+        event = EventFactory(0).create(".a.x", validity=300.0, now=sim.now)
+        nodes[0].protocol.publish(event)
+        sim.run(until=5.0)
+        for node in nodes[1:4]:
+            node.crash()
+        sim.run(until=30.0)
+        for node in (nodes[0], nodes[4], nodes[5]):
+            assert event in node.delivered_events
+
+    def test_flapping_node_survives(self, sim, rngs):
+        """Crash/recover cycles must not corrupt protocol state."""
+        _, _, nodes = build_cluster(sim, rngs)
+        flapper = nodes[2]
+        for k in range(4):
+            sim.run(until=2.5 + 4.0 * k)
+            flapper.crash()
+            sim.run(until=4.5 + 4.0 * k)
+            flapper.recover()
+        event = EventFactory(0).create(".a.x", validity=120.0, now=sim.now)
+        nodes[0].protocol.publish(event)
+        sim.run(until=40.0)
+        assert event in flapper.delivered_events
+
+
+class TestLossyChannel:
+    @pytest.mark.parametrize("loss", [0.1, 0.3])
+    def test_dissemination_survives_random_loss(self, sim, rngs, loss):
+        """Heartbeats repeat and id exchanges retrigger, so moderate
+        random frame loss delays but does not prevent delivery."""
+        cfg = MediumConfig(frame_loss_probability=loss)
+        _, _, nodes = build_cluster(sim, rngs, medium_config=cfg)
+        sim.run(until=3.3)
+        event = EventFactory(0).create(".a.x", validity=600.0, now=sim.now)
+        nodes[0].protocol.publish(event)
+        sim.run(until=120.0)
+        delivered = sum(1 for n in nodes if event in n.delivered_events)
+        assert delivered == len(nodes)
+
+    def test_total_loss_blocks_everything(self, sim, rngs):
+        cfg = MediumConfig(frame_loss_probability=1.0)
+        _, _, nodes = build_cluster(sim, rngs, medium_config=cfg)
+        sim.run(until=3.3)
+        event = EventFactory(0).create(".a.x", validity=60.0, now=sim.now)
+        nodes[0].protocol.publish(event)
+        sim.run(until=30.0)
+        for node in nodes[1:]:
+            assert node.delivered_events == []
+            assert len(node.protocol.neighborhood) == 0

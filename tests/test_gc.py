@@ -1,0 +1,115 @@
+"""Unit tests for eviction policies (repro.core.gc) — paper Equation 1."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.events import Event, EventId, StoredEvent
+from repro.core.gc import (FifoPolicy, RandomPolicy, RemainingValidityPolicy,
+                           ValidityForwardPolicy, gc_score, make_policy)
+from repro.core.topics import Topic
+
+
+def row(seq: int, validity: float, forwarded: int,
+        published_at: float = 0.0, stored_at: float = 0.0) -> StoredEvent:
+    event = Event(EventId(1, seq), Topic(".t"), validity=validity,
+                  published_at=published_at)
+    return StoredEvent(event=event, stored_at=stored_at,
+                       forward_count=forwarded)
+
+
+class TestGcScore:
+    def test_paper_worked_example(self):
+        """A 2-min event forwarded once outlives a 5-min event forwarded
+        five times (Section 4.4): the 5-min event has the lower score."""
+        short_rarely = gc_score(120.0, 1)
+        long_often = gc_score(300.0, 5)
+        assert long_often < short_rarely
+
+    def test_score_decreases_with_forwards(self):
+        assert gc_score(60.0, 5) < gc_score(60.0, 1) < gc_score(60.0, 0)
+
+    def test_never_forwarded_score_is_one(self):
+        assert gc_score(42.0, 0) == 1.0
+
+    def test_score_in_unit_interval(self):
+        assert 0.0 < gc_score(1.0, 1000) < 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            gc_score(0.0, 1)
+        with pytest.raises(ValueError):
+            gc_score(10.0, -1)
+
+
+class TestValidityForwardPolicy:
+    def test_selects_minimum_score(self):
+        rows = [row(0, 120.0, 1), row(1, 300.0, 5), row(2, 60.0, 0)]
+        victim = ValidityForwardPolicy().select_victim(rows, now=0.0)
+        assert victim.event_id == EventId(1, 1)
+
+    def test_empty_returns_none(self):
+        assert ValidityForwardPolicy().select_victim([], now=0.0) is None
+
+    def test_single_entry(self):
+        only = row(0, 10.0, 0)
+        assert ValidityForwardPolicy().select_victim([only], 0.0) is only
+
+
+class TestRemainingValidityPolicy:
+    def test_nearly_expired_preferred(self):
+        fresh = row(0, 100.0, 0, published_at=90.0)      # 95 s left at t=95
+        dying = row(1, 100.0, 0, published_at=0.0)       # 5 s left at t=95
+        victim = RemainingValidityPolicy().select_victim(
+            [fresh, dying], now=95.0)
+        assert victim is dying
+
+    def test_forward_count_still_matters(self):
+        a = row(0, 100.0, 10, published_at=0.0)
+        b = row(1, 100.0, 0, published_at=0.0)
+        victim = RemainingValidityPolicy().select_victim([a, b], now=10.0)
+        assert victim is a
+
+
+class TestFifoPolicy:
+    def test_oldest_stored_evicted(self):
+        rows = [row(0, 10.0, 0, stored_at=5.0),
+                row(1, 10.0, 0, stored_at=1.0),
+                row(2, 10.0, 0, stored_at=3.0)]
+        assert FifoPolicy().select_victim(rows, now=9.0).event_id == \
+            EventId(1, 1)
+
+
+class TestRandomPolicy:
+    def test_requires_rng(self):
+        with pytest.raises(ValueError):
+            RandomPolicy().select_victim([row(0, 1.0, 0)], now=0.0)
+
+    def test_selects_from_population(self):
+        rows = [row(i, 10.0, 0) for i in range(5)]
+        rng = random.Random(0)
+        chosen = {RandomPolicy().select_victim(rows, 0.0, rng=rng).event_id
+                  for _ in range(50)}
+        assert len(chosen) > 1                       # actually random
+        assert chosen <= {r.event_id for r in rows}  # never invents
+
+    def test_empty_returns_none(self):
+        assert RandomPolicy().select_victim([], 0.0,
+                                            rng=random.Random(0)) is None
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name,cls", [
+        ("validity-forward", ValidityForwardPolicy),
+        ("remaining-validity", RemainingValidityPolicy),
+        ("fifo", FifoPolicy),
+        ("random", RandomPolicy),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown eviction policy"):
+            make_policy("lru")

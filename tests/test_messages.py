@@ -1,0 +1,58 @@
+"""Unit tests for protocol messages and wire sizes (repro.net.messages)."""
+
+from __future__ import annotations
+
+from repro.core.events import EventId
+from repro.core.topics import Topic
+from repro.net.messages import (EventBatch, EventIdList, Heartbeat,
+                                SizeModel)
+
+from tests.helpers import make_event
+
+
+class TestSizeModel:
+    def test_paper_constants(self):
+        sizes = SizeModel()
+        assert sizes.heartbeat_bytes == 50      # Section 5.2
+        assert sizes.event_id_bytes == 16       # 128 bits
+
+    def test_heartbeat_flat_cost(self):
+        sizes = SizeModel()
+        few = Heartbeat(sender=1, subscriptions=frozenset({Topic(".a")}))
+        many = Heartbeat(sender=1, subscriptions=frozenset(
+            {Topic(f".t{i}") for i in range(10)}))
+        assert few.size_bytes(sizes) == many.size_bytes(sizes) == 50
+
+    def test_id_list_scales_with_ids(self):
+        sizes = SizeModel()
+        base = EventIdList(sender=1, event_ids=()).size_bytes(sizes)
+        three = EventIdList(sender=1, event_ids=(
+            EventId(1, 0), EventId(1, 1), EventId(1, 2))).size_bytes(sizes)
+        assert three == base + 3 * 16
+
+    def test_event_batch_includes_payload_ids_and_neighbors(self):
+        sizes = SizeModel()
+        e = make_event(payload_bytes=400)
+        batch = EventBatch(sender=1, events=(e,), neighbor_ids=(2, 3))
+        expected = (sizes.header_bytes + 400 + sizes.event_id_bytes
+                    + 2 * sizes.node_id_bytes)
+        assert batch.size_bytes(sizes) == expected
+
+    def test_batch_of_two_events_sums_payloads(self):
+        sizes = SizeModel()
+        a = make_event(seq=0, payload_bytes=400)
+        b = make_event(seq=1, payload_bytes=1600)
+        batch = EventBatch(sender=1, events=(a, b))
+        assert batch.size_bytes(sizes) == \
+            sizes.header_bytes + 2000 + 2 * sizes.event_id_bytes
+
+    def test_kind_names(self):
+        assert Heartbeat(sender=1,
+                         subscriptions=frozenset()).kind == "Heartbeat"
+        assert EventIdList(sender=1, event_ids=()).kind == "EventIdList"
+        assert EventBatch(sender=1, events=()).kind == "EventBatch"
+
+    def test_messages_hashable_and_immutable(self):
+        hb = Heartbeat(sender=1, subscriptions=frozenset({Topic(".a")}))
+        assert hash(hb) == hash(Heartbeat(
+            sender=1, subscriptions=frozenset({Topic(".a")})))

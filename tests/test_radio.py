@@ -1,0 +1,117 @@
+"""Unit tests for radio propagation math (repro.net.radio)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.net.radio import (PathLossModel, RadioConfig, dbm_to_mw,
+                             free_space_path_loss_db, mw_to_dbm,
+                             two_ray_crossover_m, two_ray_path_loss_db)
+
+
+class TestUnitConversions:
+    def test_dbm_mw_round_trip(self):
+        for dbm in (-90.0, -30.0, 0.0, 15.0):
+            assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm)
+
+    def test_known_points(self):
+        assert dbm_to_mw(0.0) == 1.0
+        assert dbm_to_mw(10.0) == pytest.approx(10.0)
+        assert mw_to_dbm(100.0) == pytest.approx(20.0)
+
+    def test_mw_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mw_to_dbm(0.0)
+
+
+class TestPathLoss:
+    def test_free_space_increases_20db_per_decade(self):
+        f = 2.4e9
+        l1 = free_space_path_loss_db(10.0, f)
+        l2 = free_space_path_loss_db(100.0, f)
+        assert l2 - l1 == pytest.approx(20.0)
+
+    def test_two_ray_increases_40db_per_decade_beyond_crossover(self):
+        f = 2.4e9
+        cross = two_ray_crossover_m(f, 1.5, 1.5)
+        l1 = two_ray_path_loss_db(cross * 2, f)
+        l2 = two_ray_path_loss_db(cross * 20, f)
+        assert l2 - l1 == pytest.approx(40.0)
+
+    def test_two_ray_equals_free_space_below_crossover(self):
+        f = 2.4e9
+        cross = two_ray_crossover_m(f, 1.5, 1.5)
+        d = cross / 2
+        assert two_ray_path_loss_db(d, f) == \
+            pytest.approx(free_space_path_loss_db(d, f))
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(0.0, 2.4e9)
+        with pytest.raises(ValueError):
+            two_ray_path_loss_db(-5.0, 2.4e9)
+
+
+class TestRadioConfig:
+    def test_received_power_decreases_with_distance(self):
+        cfg = RadioConfig()
+        assert cfg.received_power_dbm(10.0) > cfg.received_power_dbm(100.0)
+
+    def test_range_solves_link_budget(self):
+        """At exactly the computed range the received power equals the
+        sensitivity (within float tolerance)."""
+        for model in (PathLossModel.FREE_SPACE, PathLossModel.TWO_RAY):
+            cfg = RadioConfig(path_loss=model)
+            r = cfg.communication_range_m()
+            assert cfg.received_power_dbm(r) == \
+                pytest.approx(cfg.sensitivity_dbm, abs=1e-6)
+
+    def test_better_sensitivity_longer_range(self):
+        near = RadioConfig(sensitivity_dbm=-65.0)
+        far = RadioConfig(sensitivity_dbm=-93.0)
+        assert far.communication_range_m() > near.communication_range_m()
+
+    def test_range_override_pins_range(self):
+        cfg = RadioConfig(range_override_m=442.0)
+        assert cfg.communication_range_m() == 442.0
+
+    def test_paper_presets(self):
+        rwp = RadioConfig.paper_random_waypoint()
+        assert rwp.communication_range_m() == 442.0
+        assert rwp.tx_power_dbm == 15.0
+        assert rwp.sensitivity_dbm == -93.0
+        city = RadioConfig.paper_city_section()
+        assert city.communication_range_m() == 44.0
+        assert city.sensitivity_dbm == -65.0
+
+    def test_paper_rates_table(self):
+        assert RadioConfig.paper_random_waypoint(
+            11_000_000.0).communication_range_m() == 273.0
+        with pytest.raises(ValueError):
+            RadioConfig.paper_random_waypoint(5_000_000.0)
+
+    def test_transmission_duration(self):
+        cfg = RadioConfig(data_rate_bps=1_000_000.0)
+        # 400 bytes at 1 Mbit/s = 3.2 ms + 192 us preamble.
+        assert cfg.transmission_duration_s(400) == \
+            pytest.approx(192e-6 + 3.2e-3)
+        assert cfg.transmission_duration_s(0) == pytest.approx(192e-6)
+
+    def test_faster_rate_shorter_airtime(self):
+        slow = RadioConfig(data_rate_bps=1e6)
+        fast = RadioConfig(data_rate_bps=11e6)
+        assert fast.transmission_duration_s(400) < \
+            slow.transmission_duration_s(400)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioConfig(data_rate_bps=0.0)
+        with pytest.raises(ValueError):
+            RadioConfig(antenna_efficiency=0.0)
+        with pytest.raises(ValueError):
+            RadioConfig(range_override_m=-1.0)
+        cfg = RadioConfig()
+        with pytest.raises(ValueError):
+            cfg.transmission_duration_s(-1)

@@ -1,0 +1,94 @@
+"""Tests for result rendering (repro.harness.reporting)."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.reporting import (format_experiment, format_table,
+                                     reliability_grid, to_csv)
+
+
+def sample_result() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="figX", title="Sample", parameters={"scale": "quick"})
+    result.rows = [
+        {"speed": 5.0, "validity": 30.0, "reliability": 0.61,
+         "reliability_std": 0.05},
+        {"speed": 5.0, "validity": 90.0, "reliability": 0.92,
+         "reliability_std": 0.02},
+        {"speed": 10.0, "validity": 30.0, "reliability": 0.74,
+         "reliability_std": 0.04},
+        {"speed": 10.0, "validity": 90.0, "reliability": 0.97,
+         "reliability_std": 0.01},
+    ]
+    return result
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert len(lines) == 4          # header, separator, 2 rows
+
+    def test_alignment_consistent(self):
+        text = format_table([{"col": 1}, {"col": 1000}])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_bools_and_floats_rendered(self):
+        text = format_table([{"flag": True, "v": 0.123456}])
+        assert "yes" in text
+        assert "0.1235" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_explicit_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestFormatExperiment:
+    def test_includes_title_and_hides_std_columns(self):
+        text = format_experiment(sample_result())
+        assert "figX" in text and "Sample" in text
+        assert "reliability_std" not in text
+
+    def test_explicit_columns_respected(self):
+        text = format_experiment(sample_result(), columns=["speed"])
+        assert "reliability" not in text.splitlines()[2]
+
+
+class TestToCsv:
+    def test_round_trips_all_columns(self, tmp_path):
+        path = tmp_path / "out.csv"
+        to_csv(sample_result(), str(path))
+        with open(path) as f:
+            rows = list(csv.DictReader(f))
+        assert len(rows) == 4
+        assert "reliability_std" in rows[0]
+        assert float(rows[0]["reliability"]) == 0.61
+
+    def test_empty_result_rejected(self, tmp_path):
+        empty = ExperimentResult("x", "t", {})
+        with pytest.raises(ValueError):
+            to_csv(empty, str(tmp_path / "no.csv"))
+
+
+class TestReliabilityGrid:
+    def test_pivots_rows_to_matrix(self):
+        text = reliability_grid(sample_result(), row_key="speed",
+                                col_key="validity")
+        lines = text.splitlines()
+        assert "validity=30" in lines[0]
+        assert "validity=90" in lines[0]
+        assert len(lines) == 4          # header, sep, 2 speed rows
+
+    def test_fixed_filter(self):
+        text = reliability_grid(sample_result(), row_key="speed",
+                                col_key="validity", speed=5.0)
+        assert len(text.splitlines()) == 3

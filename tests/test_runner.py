@@ -1,0 +1,78 @@
+"""Tests for multi-seed running and aggregation (repro.harness.runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import (Aggregate, MultiSeedResult, aggregate,
+                                  run_matrix, run_seeds)
+from repro.harness.scenario import (Publication, RandomWaypointSpec,
+                                    ScenarioConfig)
+
+
+def tiny_config(**changes) -> ScenarioConfig:
+    base = ScenarioConfig(
+        n_processes=6,
+        mobility=RandomWaypointSpec(width=500.0, height=500.0,
+                                    speed_min=10.0, speed_max=10.0),
+        duration=40.0, warmup=2.0, seed=0,
+        publications=(Publication(at=2.0, validity=30.0),))
+    return base.with_changes(**changes)
+
+
+class TestAggregate:
+    def test_mean_and_std(self):
+        agg = aggregate([1.0, 2.0, 3.0])
+        assert agg.mean == 2.0
+        assert agg.std == pytest.approx((2.0 / 3.0) ** 0.5)
+        assert agg.n == 3
+
+    def test_single_value(self):
+        agg = aggregate([5.0])
+        assert agg.mean == 5.0 and agg.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+
+class TestRunSeeds:
+    def test_runs_once_per_seed(self):
+        multi = run_seeds(tiny_config(), seeds=[1, 2, 3])
+        assert len(multi.results) == 3
+        assert [r.config.seed for r in multi.results] == [1, 2, 3]
+
+    def test_summary_aggregates_all_metrics(self):
+        multi = run_seeds(tiny_config(), seeds=[1, 2])
+        summary = multi.summary()
+        assert set(summary) == {"reliability", "bandwidth_bytes",
+                                "events_sent", "duplicates", "parasites"}
+        assert all(isinstance(v, Aggregate) for v in summary.values())
+
+    def test_custom_metric(self):
+        multi = run_seeds(tiny_config(), seeds=[1, 2])
+        agg = multi.metric(lambda r: float(r.sim_events_processed))
+        assert agg.mean > 0
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            run_seeds(tiny_config(), seeds=[])
+
+
+class TestRunMatrix:
+    def test_paired_seeds_share_mobility(self):
+        """Across protocols, the same seed must produce the same
+        subscriber draw — the paired-comparison property."""
+        configs = {
+            "frugal": tiny_config(),
+            "flood": tiny_config(protocol="simple-flooding"),
+        }
+        outcome = run_matrix(configs, seeds=[7])
+        subs_frugal = outcome["frugal"].results[0].subscriber_ids
+        subs_flood = outcome["flood"].results[0].subscriber_ids
+        assert subs_frugal == subs_flood
+
+    def test_all_names_present(self):
+        outcome = run_matrix({"a": tiny_config()}, seeds=[1, 2])
+        assert set(outcome) == {"a"}
+        assert len(outcome["a"].results) == 2

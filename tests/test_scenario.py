@@ -1,0 +1,165 @@
+"""Tests for the scenario harness (repro.harness.scenario)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SimpleFlooding
+from repro.core.protocol import FrugalPubSub
+from repro.harness.scenario import (CitySectionSpec, Publication,
+                                    RandomWaypointSpec, ScenarioConfig,
+                                    StationarySpec, build_world,
+                                    make_protocol, run_scenario,
+                                    select_subscribers)
+from repro.sim import RngRegistry
+
+
+def tiny_config(**changes) -> ScenarioConfig:
+    base = ScenarioConfig(
+        n_processes=8,
+        mobility=RandomWaypointSpec(width=600.0, height=600.0,
+                                    speed_min=10.0, speed_max=10.0),
+        duration=60.0, warmup=5.0, seed=3,
+        subscriber_fraction=0.75,
+        publications=(Publication(at=2.0, validity=40.0),))
+    return base.with_changes(**changes)
+
+
+class TestConfigValidation:
+    def test_publication_outside_window_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            tiny_config(publications=(
+                Publication(at=100.0, validity=10.0),))
+
+    def test_bad_protocol_rejected(self):
+        with pytest.raises(ValueError, match="protocol"):
+            tiny_config(protocol="gossip")
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_config(subscriber_fraction=0.0)
+
+    def test_bad_process_count_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_config(n_processes=0)
+
+
+class TestMobilitySpecs:
+    def test_rwp_spec_builds_random_waypoint(self):
+        from repro.mobility import RandomWaypoint
+        spec = RandomWaypointSpec(100.0, 100.0, 1.0, 5.0)
+        assert isinstance(spec.build(0), RandomWaypoint)
+
+    def test_rwp_spec_zero_speed_builds_stationary(self):
+        from repro.mobility import Stationary
+        spec = RandomWaypointSpec(100.0, 100.0, 0.0, 0.0)
+        assert isinstance(spec.build(0), Stationary)
+
+    def test_city_spec_shares_one_map(self):
+        spec = CitySectionSpec(map_seed=7)
+        assert spec.build(0).map is spec.build(1).map
+
+    def test_stationary_spec(self):
+        from repro.mobility import Stationary
+        assert isinstance(StationarySpec(10.0, 10.0).build(0), Stationary)
+
+
+class TestProtocolFactory:
+    def test_known_protocols(self):
+        assert isinstance(make_protocol(tiny_config()), FrugalPubSub)
+        assert isinstance(
+            make_protocol(tiny_config(protocol="simple-flooding")),
+            SimpleFlooding)
+
+
+class TestSubscriberSelection:
+    def test_count_rounds_to_fraction(self):
+        cfg = tiny_config(subscriber_fraction=0.5)
+        subs = select_subscribers(cfg, RngRegistry(cfg.seed))
+        assert len(subs) == 4
+
+    def test_at_least_one_subscriber(self):
+        cfg = tiny_config(subscriber_fraction=0.01)
+        subs = select_subscribers(cfg, RngRegistry(cfg.seed))
+        assert len(subs) == 1
+
+    def test_deterministic_per_seed(self):
+        cfg = tiny_config()
+        a = select_subscribers(cfg, RngRegistry(5))
+        b = select_subscribers(cfg, RngRegistry(5))
+        c = select_subscribers(cfg, RngRegistry(6))
+        assert a == b
+        assert a != c or len(a) == cfg.n_processes
+
+
+class TestBuildWorld:
+    def test_world_is_fully_wired(self):
+        cfg = tiny_config()
+        sim, medium, collector, nodes, subscribers = build_world(cfg)
+        assert len(nodes) == cfg.n_processes
+        assert len(medium.nodes) == cfg.n_processes
+        assert collector.node_count == cfg.n_processes
+        assert all(not n.alive for n in nodes)    # not started yet
+
+    def test_subscriber_topics_assigned(self):
+        cfg = tiny_config()
+        _, _, _, nodes, subscribers = build_world(cfg)
+        from repro.core import Topic
+        for node in nodes:
+            topics = node.protocol.subscriptions
+            if node.id in subscribers:
+                assert Topic(cfg.event_topic) in topics
+            else:
+                assert Topic(cfg.other_topic) in topics
+
+
+class TestRunScenario:
+    def test_end_to_end_delivers(self):
+        result = run_scenario(tiny_config())
+        assert result.published_events
+        assert 0.0 <= result.reliability() <= 1.0
+        assert result.reliability() > 0.5      # dense little world
+
+    def test_summary_keys(self):
+        result = run_scenario(tiny_config())
+        assert set(result.summary()) == {
+            "reliability", "bandwidth_bytes", "events_sent",
+            "duplicates", "parasites"}
+
+    def test_same_seed_same_outcome(self):
+        a = run_scenario(tiny_config())
+        b = run_scenario(tiny_config())
+        assert a.summary() == b.summary()
+
+    def test_different_seed_different_traffic(self):
+        a = run_scenario(tiny_config(seed=1))
+        b = run_scenario(tiny_config(seed=2))
+        assert a.collector.total_bytes() != b.collector.total_bytes()
+
+    def test_warmup_traffic_not_counted(self):
+        """A scenario with no publications and a warm-up covering almost
+        the whole run counts almost nothing."""
+        quiet = tiny_config(publications=(), warmup=60.0, duration=1.0)
+        result = run_scenario(quiet)
+        busy = tiny_config(publications=(), warmup=1.0, duration=60.0)
+        other = run_scenario(busy)
+        assert result.collector.total_bytes() < other.collector.total_bytes()
+
+    def test_publisher_is_a_subscriber(self):
+        result = run_scenario(tiny_config())
+        publisher = result.published_events[0].event_id.publisher
+        assert publisher in result.subscriber_ids
+
+    def test_publisher_rotation_by_index(self):
+        cfg = tiny_config(publications=(
+            Publication(at=2.0, validity=30.0, publisher=0),
+            Publication(at=4.0, validity=30.0, publisher=1)))
+        result = run_scenario(cfg)
+        pubs = [e.event_id.publisher for e in result.published_events]
+        assert pubs[0] == result.subscriber_ids[0]
+        assert pubs[1] == result.subscriber_ids[1]
+
+    def test_flooding_protocol_runs_too(self):
+        result = run_scenario(tiny_config(protocol="simple-flooding"))
+        assert result.reliability() == 1.0
+        assert result.duplicates_per_process() > 10

@@ -1,0 +1,141 @@
+"""Unit tests for 2-D geometry and the spatial grid (repro.sim.space)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.space import SpatialGrid, Vec2
+
+
+class TestVec2:
+    def test_add_sub(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+        assert Vec2(3, 4) - Vec2(1, 2) == Vec2(2, 2)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Vec2(1, 2) * 3 == Vec2(3, 6)
+        assert 3 * Vec2(1, 2) == Vec2(3, 6)
+
+    def test_norm_and_distance(self):
+        assert Vec2(3, 4).norm() == 5.0
+        assert Vec2(1, 1).distance_to(Vec2(4, 5)) == 5.0
+
+    def test_dot(self):
+        assert Vec2(1, 2).dot(Vec2(3, 4)) == 11.0
+
+    def test_normalized(self):
+        n = Vec2(10, 0).normalized()
+        assert n == Vec2(1, 0)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ValueError):
+            Vec2(0, 0).normalized()
+
+    def test_lerp_endpoints_and_midpoint(self):
+        a, b = Vec2(0, 0), Vec2(10, 20)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Vec2(5, 10)
+
+    def test_immutability(self):
+        v = Vec2(1, 2)
+        with pytest.raises(Exception):
+            v.x = 5
+
+    def test_as_tuple(self):
+        assert Vec2(1.5, -2.0).as_tuple() == (1.5, -2.0)
+
+
+class TestSpatialGrid:
+    def test_insert_and_query(self):
+        grid = SpatialGrid(cell_size=10.0)
+        grid.insert(1, Vec2(0, 0))
+        grid.insert(2, Vec2(5, 0))
+        grid.insert(3, Vec2(50, 50))
+        assert grid.query_radius(Vec2(0, 0), 10.0) == [1, 2]
+
+    def test_query_excludes_requested_id(self):
+        grid = SpatialGrid(cell_size=10.0)
+        grid.insert(1, Vec2(0, 0))
+        grid.insert(2, Vec2(1, 1))
+        assert grid.query_radius(Vec2(0, 0), 10.0, exclude=1) == [2]
+
+    def test_query_radius_larger_than_cell(self):
+        grid = SpatialGrid(cell_size=1.0)
+        for i in range(10):
+            grid.insert(i, Vec2(float(i), 0.0))
+        found = grid.query_radius(Vec2(0, 0), 5.0)
+        assert found == [0, 1, 2, 3, 4, 5]
+
+    def test_boundary_is_inclusive(self):
+        grid = SpatialGrid(cell_size=10.0)
+        grid.insert(1, Vec2(10, 0))
+        assert grid.query_radius(Vec2(0, 0), 10.0) == [1]
+
+    def test_move_between_cells(self):
+        grid = SpatialGrid(cell_size=10.0)
+        grid.insert(1, Vec2(0, 0))
+        grid.insert(1, Vec2(100, 100))
+        assert grid.query_radius(Vec2(0, 0), 15.0) == []
+        assert grid.query_radius(Vec2(100, 100), 15.0) == [1]
+        assert len(grid) == 1
+
+    def test_move_within_cell(self):
+        grid = SpatialGrid(cell_size=100.0)
+        grid.insert(1, Vec2(1, 1))
+        grid.insert(1, Vec2(2, 2))
+        assert grid.position(1) == Vec2(2, 2)
+        assert len(grid) == 1
+
+    def test_remove(self):
+        grid = SpatialGrid(cell_size=10.0)
+        grid.insert(1, Vec2(0, 0))
+        grid.remove(1)
+        assert 1 not in grid
+        assert grid.query_radius(Vec2(0, 0), 100.0) == []
+        grid.remove(1)   # idempotent
+
+    def test_negative_coordinates(self):
+        grid = SpatialGrid(cell_size=10.0)
+        grid.insert(1, Vec2(-5, -5))
+        grid.insert(2, Vec2(-95, -95))
+        assert grid.query_radius(Vec2(0, 0), 10.0) == [1]
+
+    def test_results_sorted(self):
+        grid = SpatialGrid(cell_size=10.0)
+        for i in reversed(range(20)):
+            grid.insert(i, Vec2(0.1 * i, 0))
+        assert grid.query_radius(Vec2(0, 0), 5.0) == list(range(20))
+
+    def test_matches_brute_force(self):
+        import random
+        rng = random.Random(3)
+        grid = SpatialGrid(cell_size=25.0)
+        points = {}
+        for i in range(200):
+            p = Vec2(rng.uniform(-500, 500), rng.uniform(-500, 500))
+            points[i] = p
+            grid.insert(i, p)
+        for _ in range(20):
+            center = Vec2(rng.uniform(-500, 500), rng.uniform(-500, 500))
+            radius = rng.uniform(0, 300)
+            expected = sorted(
+                i for i, p in points.items()
+                if math.hypot(p.x - center.x, p.y - center.y) <= radius)
+            assert grid.query_radius(center, radius) == expected
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SpatialGrid(cell_size=0.0)
+        grid = SpatialGrid(cell_size=1.0)
+        with pytest.raises(ValueError):
+            grid.query_radius(Vec2(0, 0), -1.0)
+
+    def test_items_and_ids(self):
+        grid = SpatialGrid(cell_size=10.0)
+        grid.insert(1, Vec2(0, 0))
+        grid.insert(2, Vec2(5, 5))
+        assert sorted(grid.ids()) == [1, 2]
+        assert dict(grid.items())[2] == Vec2(5, 5)

@@ -1,0 +1,209 @@
+"""Unit tests for the Section 4.1 data structures (repro.core.tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import EventId
+from repro.core.gc import FifoPolicy
+from repro.core.tables import EventTable, NeighborhoodTable
+from repro.core.topics import Topic
+
+from tests.helpers import make_event
+
+
+class TestNeighborhoodTable:
+    def test_upsert_inserts_and_refreshes(self):
+        table = NeighborhoodTable()
+        table.upsert(1, [Topic(".a")], speed=5.0, now=10.0)
+        assert 1 in table
+        entry = table.get(1)
+        assert entry.speed == 5.0 and entry.store_time == 10.0
+        table.upsert(1, [Topic(".a"), Topic(".b")], speed=7.0, now=20.0)
+        assert len(table) == 1
+        entry = table.get(1)
+        assert entry.speed == 7.0 and entry.store_time == 20.0
+        assert entry.subscriptions == {Topic(".a"), Topic(".b")}
+
+    def test_refresh_preserves_known_event_ids(self):
+        table = NeighborhoodTable()
+        table.upsert(1, [Topic(".a")], None, now=0.0)
+        table.record_known_event(1, EventId(9, 0))
+        table.upsert(1, [Topic(".a")], None, now=5.0)
+        assert table.get(1).knows(EventId(9, 0))
+
+    def test_record_known_event_ignores_strangers(self):
+        table = NeighborhoodTable()
+        table.record_known_event(42, EventId(1, 1))
+        assert 42 not in table
+
+    def test_record_known_event_refreshes_store_time(self):
+        table = NeighborhoodTable()
+        table.upsert(1, [Topic(".a")], None, now=0.0)
+        table.record_known_event(1, EventId(1, 1), now=9.0)
+        assert table.get(1).store_time == 9.0
+
+    def test_average_speed(self):
+        table = NeighborhoodTable()
+        table.upsert(1, [Topic(".a")], speed=10.0, now=0.0)
+        table.upsert(2, [Topic(".a")], speed=None, now=0.0)  # no sensor
+        table.upsert(3, [Topic(".a")], speed=20.0, now=0.0)
+        assert table.average_speed() == 15.0
+        assert table.average_speed(own_speed=30.0) == 20.0
+
+    def test_average_speed_none_when_no_data(self):
+        table = NeighborhoodTable()
+        table.upsert(1, [Topic(".a")], speed=None, now=0.0)
+        assert table.average_speed() is None
+        assert table.average_speed(own_speed=5.0) == 5.0
+
+    def test_interested_in_uses_covers(self):
+        table = NeighborhoodTable()
+        table.upsert(1, [Topic(".a")], None, now=0.0)
+        table.upsert(2, [Topic(".a.b.c")], None, now=0.0)
+        interested = table.interested_in(Topic(".a.b"))
+        assert [e.node_id for e in interested] == [1]
+
+    def test_collect_drops_stale_rows(self):
+        table = NeighborhoodTable()
+        table.upsert(1, [Topic(".a")], None, now=0.0)
+        table.upsert(2, [Topic(".a")], None, now=8.0)
+        removed = table.collect(now=10.0, ngc_delay=5.0)
+        assert removed == [1]
+        assert table.ids() == [2]
+
+    def test_collect_boundary_not_stale(self):
+        table = NeighborhoodTable()
+        table.upsert(1, [Topic(".a")], None, now=5.0)
+        assert table.collect(now=10.0, ngc_delay=5.0) == []
+
+    def test_remove(self):
+        table = NeighborhoodTable()
+        table.upsert(1, [Topic(".a")], None, now=0.0)
+        table.remove(1)
+        assert len(table) == 0
+        table.remove(1)   # idempotent
+
+
+class TestEventTable:
+    def test_store_and_lookup(self):
+        table = EventTable()
+        e = make_event(seq=0, validity=60.0)
+        row = table.store(e, now=0.0)
+        assert e.event_id in table
+        assert table.get(e.event_id) is row
+        assert len(table) == 1
+
+    def test_store_is_idempotent(self):
+        table = EventTable()
+        e = make_event(seq=0)
+        first = table.store(e, now=0.0)
+        first.forward_count = 3
+        again = table.store(e, now=5.0)
+        assert again is first
+        assert again.forward_count == 3
+        assert len(table) == 1
+
+    def test_capacity_evicts_expired_first(self):
+        table = EventTable(capacity=2)
+        dead = make_event(seq=0, validity=5.0, now=0.0)
+        live = make_event(seq=1, validity=500.0, now=0.0)
+        table.store(dead, now=0.0)
+        table.store(live, now=0.0)
+        newcomer = make_event(seq=2, validity=500.0, now=10.0)
+        table.store(newcomer, now=10.0)    # dead has expired by now
+        assert dead.event_id not in table
+        assert live.event_id in table
+        assert newcomer.event_id in table
+        assert table.evictions_expired == 1
+        assert table.evictions_policy == 0
+
+    def test_capacity_falls_back_to_equation_one(self):
+        table = EventTable(capacity=2)
+        much_forwarded = make_event(seq=0, validity=300.0, now=0.0)
+        rarely_forwarded = make_event(seq=1, validity=120.0, now=0.0)
+        table.store(much_forwarded, now=0.0).forward_count = 5
+        table.store(rarely_forwarded, now=0.0).forward_count = 1
+        table.store(make_event(seq=2, validity=100.0, now=1.0), now=1.0)
+        assert much_forwarded.event_id not in table
+        assert rarely_forwarded.event_id in table
+        assert table.evictions_policy == 1
+
+    def test_custom_policy_used(self):
+        table = EventTable(capacity=2, policy=FifoPolicy())
+        old = make_event(seq=0, validity=100.0, now=0.0)
+        new = make_event(seq=1, validity=100.0, now=0.0)
+        table.store(old, now=0.0)
+        table.store(new, now=5.0)
+        table.store(make_event(seq=2, validity=100.0, now=6.0), now=6.0)
+        assert old.event_id not in table
+
+    def test_unbounded_table_never_evicts(self):
+        table = EventTable(capacity=None)
+        for i in range(100):
+            table.store(make_event(seq=i), now=0.0)
+        assert len(table) == 100
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EventTable(capacity=0)
+
+    def test_valid_rows_filters_expired(self):
+        table = EventTable()
+        short = make_event(seq=0, validity=10.0, now=0.0)
+        long = make_event(seq=1, validity=100.0, now=0.0)
+        table.store(short, now=0.0)
+        table.store(long, now=0.0)
+        rows = table.valid_rows(now=50.0)
+        assert [r.event_id for r in rows] == [long.event_id]
+
+    def test_valid_ids_for_uses_symmetric_relation(self):
+        """Fig. 1: the holder of a subtopic event announces it to a
+        super-topic subscriber, and a super-topic holder announces to a
+        subtopic subscriber."""
+        table = EventTable()
+        sub_event = make_event(seq=0, topic=".t0.t1.t2", validity=60.0)
+        sup_event = make_event(seq=1, topic=".t0.t1", validity=60.0)
+        table.store(sub_event, now=0.0)
+        table.store(sup_event, now=0.0)
+        # Neighbour subscribed to the super-topic hears about both.
+        assert table.valid_ids_for([Topic(".t0.t1")], now=0.0) == \
+            sorted([sub_event.event_id, sup_event.event_id])
+        # Neighbour subscribed to the subtopic also hears about both
+        # (relatedness is symmetric; entitlement is checked at send time).
+        assert table.valid_ids_for([Topic(".t0.t1.t2")], now=0.0) == \
+            sorted([sub_event.event_id, sup_event.event_id])
+        # Unrelated branch hears about nothing.
+        assert table.valid_ids_for([Topic(".t9")], now=0.0) == []
+
+    def test_valid_ids_for_excludes_expired(self):
+        table = EventTable()
+        e = make_event(seq=0, topic=".a", validity=10.0, now=0.0)
+        table.store(e, now=0.0)
+        assert table.valid_ids_for([Topic(".a")], now=5.0) == [e.event_id]
+        assert table.valid_ids_for([Topic(".a")], now=15.0) == []
+
+    def test_purge_expired(self):
+        table = EventTable()
+        a = make_event(seq=0, validity=10.0, now=0.0)
+        b = make_event(seq=1, validity=100.0, now=0.0)
+        table.store(a, now=0.0)
+        table.store(b, now=0.0)
+        assert table.purge_expired(now=50.0) == [a.event_id]
+        assert len(table) == 1
+
+    def test_increment_forward_count(self):
+        table = EventTable()
+        e = make_event(seq=0)
+        table.store(e, now=0.0)
+        table.increment_forward_count(e.event_id)
+        table.increment_forward_count(e.event_id)
+        assert table.get(e.event_id).forward_count == 2
+        table.increment_forward_count(EventId(5, 5))   # unknown: no-op
+
+    def test_iteration(self):
+        table = EventTable()
+        events = [make_event(seq=i) for i in range(3)]
+        for e in events:
+            table.store(e, now=0.0)
+        assert {r.event_id for r in table} == {e.event_id for e in events}
