@@ -1,0 +1,61 @@
+"""Energy experiments benchmark: the lifetime sweep plus the accounting
+hot path.
+
+``test_energy_lifetime`` regenerates the energy-lifetime figure at the
+selected scale (like the ``bench_figNN`` benchmarks).  The micro-bench
+times the :class:`EnergyModel` transition machinery — every frame on the
+air costs one TX window and one RX window per audible receiver, so this
+is the per-frame overhead the subsystem adds to the medium's hot path.
+"""
+
+from __future__ import annotations
+
+from common import publish, scale
+from repro.energy import Battery, EnergyModel, PowerProfile
+from repro.harness.experiments import ablation_dutycycle, energy_lifetime
+from repro.sim.kernel import Simulator
+
+
+def test_energy_lifetime(benchmark):
+    result = benchmark.pedantic(energy_lifetime, args=(scale(),),
+                                rounds=1, iterations=1)
+    publish(result)
+    frugal = [r for r in result.rows if r["protocol"] == "frugal"]
+    flood = [r for r in result.rows
+             if r["protocol"] == "neighbor-flooding"]
+    # The headline: frugal is cheaper per delivered event on mains power.
+    assert frugal[0]["joules_per_delivery"] < flood[0]["joules_per_delivery"]
+
+
+def test_ablation_dutycycle(benchmark):
+    result = benchmark.pedantic(ablation_dutycycle, args=(scale(),),
+                                rounds=1, iterations=1)
+    publish(result)
+    for protocol in ("frugal", "neighbor-flooding"):
+        rows = [r for r in result.rows if r["protocol"] == protocol]
+        full = [r for r in rows if r["awake_fraction"] == 1.0][0]
+        least = min(rows, key=lambda r: r["awake_fraction"])
+        assert least["joules_per_node"] < full["joules_per_node"], \
+            "sleeping must save energy"
+
+
+def test_energy_model_transition_hot_path(benchmark):
+    """1000 alternating TX/RX windows on one metered, battery-backed
+    radio — the accounting work a busy medium generates per node."""
+
+    def churn() -> float:
+        sim = Simulator()
+        model = EnergyModel(0, sim, PowerProfile.wifi_80211b(),
+                            battery=Battery(capacity_j=10_000.0))
+        airtime = 3.4e-3
+        for i in range(1000):
+            if i % 2 == 0:
+                model.note_tx(airtime)
+            else:
+                model.note_rx(airtime)
+            sim.run(until=(i + 1) * 5e-3)
+        model.finalize()
+        return model.total_joules
+
+    joules = benchmark(churn)
+    assert joules > 0.0

@@ -65,6 +65,10 @@ def test_medium_broadcast_150_nodes(benchmark):
             self.id = node_id
             self.pos = pos
             self.alive = True
+            self.asleep = False
+        @property
+        def listening(self):
+            return self.alive and not self.asleep
         def position(self):
             return self.pos
         def receive(self, message):

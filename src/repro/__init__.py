@@ -15,8 +15,11 @@ implemented on a from-scratch discrete-event wireless simulation substrate:
   message wire-size model and the node/host binding,
 * :mod:`repro.metrics` — reliability / bandwidth / duplicates / parasites
   accounting (the paper's four measurements),
+* :mod:`repro.energy` — radio power states, batteries and duty cycling:
+  the paper's frugality claim priced in joules and network lifetime,
 * :mod:`repro.harness` — scenario builder, multi-seed runner and the
-  per-figure experiment functions (Figs. 11-20 plus ablations).
+  per-figure experiment functions (Figs. 11-20 plus ablations and the
+  energy experiments).
 
 Quickstart::
 

@@ -1,0 +1,33 @@
+"""Energy accounting: radio power states, batteries and duty cycling.
+
+The paper's pitch is *frugal* dissemination on resource-poor mobile
+devices, but its evaluation counts only bytes.  This subpackage prices
+those bytes in joules so the frugality claim becomes quantitative:
+
+* :mod:`repro.energy.model` — a per-node TX/RX/IDLE/SLEEP radio state
+  machine charged on the simulation clock, with per-state power draws
+  (measured 802.11 presets, or derived from a :class:`RadioConfig`),
+* :mod:`repro.energy.battery` — finite energy stores with exact,
+  timer-scheduled depletion,
+* :mod:`repro.energy.dutycycle` — synchronised sleep schedules the frugal
+  protocol can exploit and flooders cannot,
+* :mod:`repro.energy.collector` — the per-world accountant that meters
+  every node, powers down the drained ones mid-run, and aggregates
+  joules-per-node / joules-per-delivery / network-lifetime metrics.
+"""
+
+from repro.energy.battery import Battery
+from repro.energy.collector import EnergyAccountant, EnergyConfig
+from repro.energy.dutycycle import DutyCycleConfig, DutyCycler
+from repro.energy.model import EnergyModel, PowerProfile, RadioState
+
+__all__ = [
+    "Battery",
+    "EnergyAccountant",
+    "EnergyConfig",
+    "DutyCycleConfig",
+    "DutyCycler",
+    "EnergyModel",
+    "PowerProfile",
+    "RadioState",
+]

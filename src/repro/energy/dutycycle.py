@@ -1,0 +1,126 @@
+"""Duty-cycling policies: trading listening time for lifetime.
+
+The only state a radio can save real power in is SLEEP, but a sleeping
+radio is deaf — so duty cycling is a *protocol-visible* policy, not a
+free optimisation.  The policy here is the classic synchronised-window
+schedule (S-MAC style): every node is awake during the first
+``awake_fraction`` of each ``period_s`` window and asleep for the rest,
+with all nodes sharing the same phase.
+
+This is the schedule the frugal protocol can exploit and the flooding
+baselines cannot: frugal traffic is *reactive* (id exchanges and event
+back-offs are triggered by receptions, which can only happen inside an
+awake window, so whole exchanges complete within the window — especially
+when the period is aligned to the heartbeat period), while a flooder
+keeps queueing frames on its own fixed timer and has them batch-released
+at window start, colliding with every other flooder's backlog.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.kernel import Simulator, Timer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+@dataclass(frozen=True)
+class DutyCycleConfig:
+    """Synchronised sleep schedule knobs.
+
+    ``awake_fraction=1.0`` (the default) means always-on: no cycler is
+    installed at all, so the hot path stays untouched.
+    """
+
+    period_s: float = 1.0
+    awake_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be positive: {self.period_s=}")
+        if not 0.0 < self.awake_fraction <= 1.0:
+            raise ValueError("awake_fraction must be in (0, 1]")
+
+    @property
+    def enabled(self) -> bool:
+        return self.awake_fraction < 1.0
+
+    @property
+    def awake_s(self) -> float:
+        return self.period_s * self.awake_fraction
+
+    # -- presets ---------------------------------------------------------------
+
+    @classmethod
+    def always_on(cls) -> "DutyCycleConfig":
+        return cls(period_s=1.0, awake_fraction=1.0)
+
+    @classmethod
+    def heartbeat_aligned(cls, hb_period_s: float,
+                          awake_fraction: float = 0.5) -> "DutyCycleConfig":
+        """Window period equal to the protocol's heartbeat period, so one
+        beacon exchange (and the dissemination it triggers) fits every
+        awake window."""
+        return cls(period_s=hb_period_s, awake_fraction=awake_fraction)
+
+    # -- schedule arithmetic ----------------------------------------------------
+
+    def is_awake_at(self, time: float) -> bool:
+        if not self.enabled:
+            return True
+        return (time % self.period_s) < self.awake_s
+
+    def next_wake_after(self, time: float) -> float:
+        """The next window start at or after ``time`` (identity while
+        awake: the radio is already up)."""
+        if self.is_awake_at(time):
+            return time
+        return math.ceil(time / self.period_s) * self.period_s
+
+
+class DutyCycler:
+    """Drives one node's sleep/wake schedule on the kernel clock."""
+
+    def __init__(self, sim: Simulator, node: "Node",
+                 config: DutyCycleConfig):
+        if not config.enabled:
+            raise ValueError("DutyCycler requires awake_fraction < 1")
+        self.sim = sim
+        self.node = node
+        self.config = config
+        self._stopped = False
+        self._timer: Optional[Timer] = None
+        # Phase-align to the global schedule regardless of start time.
+        self._arm()
+
+    def _arm(self) -> None:
+        now = self.sim.now
+        period = self.config.period_s
+        offset = now % period
+        if offset < self.config.awake_s:
+            # Inside an awake window: make sure the node is up, then
+            # sleep at the window's end.
+            self.node.wake()
+            delay = self.config.awake_s - offset
+        else:
+            self.node.sleep()
+            delay = period - offset
+        self._timer = self.sim.schedule(delay, self._flip)
+
+    def _flip(self) -> None:
+        # Keep re-arming even while the node is crashed: sleep()/wake()
+        # no-op on a dead node, and a recovered one rejoins the global
+        # schedule at the next window edge.
+        if self._stopped:
+            return
+        self._arm()
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None

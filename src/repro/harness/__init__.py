@@ -12,16 +12,16 @@
 from repro.harness.scenario import (CitySectionSpec, MobilitySpec,
                                     Publication, RandomWaypointSpec,
                                     ScenarioConfig, ScenarioResult,
-                                    StationarySpec, build_world,
+                                    StationarySpec, World, build_world,
                                     make_protocol, run_scenario)
 from repro.harness.runner import (Aggregate, MultiSeedResult, aggregate,
                                   run_matrix, run_seeds)
 from repro.harness.presets import PAPER, QUICK, Scale, get_scale
 from repro.harness.experiments import (ALL_EXPERIMENTS, ExperimentResult,
-                                       city_scenario, frugality_comparison,
-                                       rwp_scenario)
-from repro.harness.reporting import (format_experiment, format_table,
-                                     reliability_grid, to_csv)
+                                       city_scenario, energy_scenario,
+                                       frugality_comparison, rwp_scenario)
+from repro.harness.reporting import (depletion_timeline, format_experiment,
+                                     format_table, reliability_grid, to_csv)
 
 __all__ = [
     "CitySectionSpec",
@@ -31,6 +31,7 @@ __all__ = [
     "ScenarioConfig",
     "ScenarioResult",
     "StationarySpec",
+    "World",
     "build_world",
     "make_protocol",
     "run_scenario",
@@ -46,8 +47,10 @@ __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentResult",
     "city_scenario",
+    "energy_scenario",
     "frugality_comparison",
     "rwp_scenario",
+    "depletion_timeline",
     "format_experiment",
     "format_table",
     "reliability_grid",

@@ -30,10 +30,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (fig11..fig20, abl-gc, abl-backoff, "
-             "abl-adaptive-hb, abl-ids), 'all', or 'list'")
+             "abl-adaptive-hb, abl-ids, abl-dutycycle, energy-lifetime), "
+             "'all', or 'list'")
     parser.add_argument(
         "--scale", default=None, choices=["quick", "paper"],
         help="experiment scale (default: REPRO_SCALE env or quick)")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="re-base the deterministic seed set on this first seed "
+             "(default: the scale's seed_base, 0)")
     parser.add_argument(
         "--csv", default=None,
         help="write the result rows to this CSV file")
@@ -44,8 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def run_one(experiment_id: str, scale_name: Optional[str],
-            csv_path: Optional[str]) -> None:
+            csv_path: Optional[str], seed: Optional[int] = None) -> None:
     scale = get_scale(scale_name)
+    if seed is not None:
+        scale = scale.with_seed_base(seed)
     result = ALL_EXPERIMENTS[experiment_id](scale)
     print(format_experiment(result))
     if csv_path:
@@ -66,14 +73,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         out_dir = pathlib.Path(args.out_dir or "results")
         out_dir.mkdir(parents=True, exist_ok=True)
         for name in ALL_EXPERIMENTS:
-            run_one(name, args.scale, str(out_dir / f"{name}.csv"))
+            run_one(name, args.scale, str(out_dir / f"{name}.csv"),
+                    seed=args.seed)
             print()
         return 0
     if args.experiment not in ALL_EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; "
               f"try 'list'", file=sys.stderr)
         return 2
-    run_one(args.experiment, args.scale, args.csv)
+    run_one(args.experiment, args.scale, args.csv, seed=args.seed)
     return 0
 
 

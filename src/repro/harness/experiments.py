@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.config import FrugalConfig
+from repro.energy import DutyCycleConfig, EnergyConfig, PowerProfile
 from repro.harness.presets import Scale, get_scale
 from repro.harness.runner import aggregate, run_seeds
 from repro.harness.scenario import (CitySectionSpec, Publication,
@@ -333,6 +334,115 @@ def fig20(scale: Optional[Scale] = None) -> ExperimentResult:
 
 
 # --------------------------------------------------------------------------
+# Energy experiments (the frugality claim priced in joules)
+# --------------------------------------------------------------------------
+
+#: The two protocols the energy comparison pits against each other:
+#: the frugal protocol vs the strongest flooding baseline (Fig. 20's
+#: neighbours'-interests flooder, the only one that is interest-aware
+#: on both sides).
+ENERGY_PROTOCOLS = ("frugal", "neighbor-flooding")
+
+
+def energy_scenario(scale: Scale, protocol: str,
+                    battery_j: Optional[float] = None,
+                    awake_fraction: float = 1.0,
+                    n_events: int = 5, interest: float = 0.8,
+                    duration: float = 120.0) -> ScenarioConfig:
+    """A random-waypoint trial instrumented with the energy subsystem.
+
+    Uses the power-save radio profile (cheap idle carrier sense), where
+    TX/RX airtime dominates the budget — the regime in which protocol
+    frugality translates most directly into battery lifetime.  Duty
+    cycling, when enabled, is aligned to the frugal heartbeat period so
+    one beacon exchange fits every awake window.
+    """
+    cfg = rwp_scenario(scale, 10.0, 10.0, validity=duration,
+                       interest=interest, n_events=n_events,
+                       protocol=protocol, duration=duration)
+    if awake_fraction < 1.0:
+        duty = DutyCycleConfig.heartbeat_aligned(
+            cfg.frugal.hb_upper_bound, awake_fraction)
+    else:
+        duty = DutyCycleConfig.always_on()
+    return cfg.with_changes(energy=EnergyConfig(
+        profile=PowerProfile.power_save(),
+        battery_capacity_j=battery_j,
+        duty_cycle=duty))
+
+
+ENERGY_METRICS = ("joules_per_node", "joules_per_delivery", "lifetime_s",
+                  "survivor_fraction", "survivor_reliability")
+
+
+def energy_lifetime(scale: Optional[Scale] = None,
+                    batteries: Sequence[Optional[float]] = (None, 40.0, 28.0)
+                    ) -> ExperimentResult:
+    """energy-lifetime: joules, network lifetime and survivors.
+
+    Sweeps protocol x battery capacity on paired seeds.  The mains row
+    (capacity None) prices the paper's frugality claim in joules per
+    delivered event; the finite-capacity rows turn the same scenario into
+    a network-lifetime experiment — flooding listeners burn their budget
+    on parasite airtime and die mid-run, frugal nodes coast.
+    """
+    scale = scale or get_scale()
+    result = ExperimentResult(
+        experiment_id="energy-lifetime",
+        title="Energy per delivery and network lifetime "
+              "(random waypoint, 10 m/s, power-save radio)",
+        parameters={"scale": scale.name, "protocols": list(ENERGY_PROTOCOLS),
+                    "batteries_j": ["mains" if b is None else b
+                                    for b in batteries]})
+    for protocol in ENERGY_PROTOCOLS:
+        for battery in batteries:
+            cfg = energy_scenario(scale, protocol, battery_j=battery)
+            multi = run_seeds(cfg, scale.seed_list())
+            summary = multi.summary()
+            row = {"protocol": protocol,
+                   "battery_j": (float("inf") if battery is None
+                                 else battery),
+                   "reliability": summary["reliability"].mean}
+            for name in ENERGY_METRICS:
+                row[name] = summary[name].mean
+                row[name + "_std"] = summary[name].std
+            result.rows.append(row)
+    return result
+
+
+def ablation_dutycycle(scale: Optional[Scale] = None,
+                       awake_fractions: Sequence[float] = (1.0, 0.5, 0.25)
+                       ) -> ExperimentResult:
+    """abl-dutycycle: sleep schedules as a protocol-visible ablation.
+
+    Every node sleeps the same synchronised fraction of each heartbeat
+    period.  The frugal protocol's reactive traffic rides the awake
+    windows, so it keeps its reliability while its radio bill drops; the
+    flooder's clock-driven frames pile up at window starts and collide,
+    so it pays in reliability for the joules it saves.
+    """
+    scale = scale or get_scale()
+    result = ExperimentResult(
+        experiment_id="abl-dutycycle",
+        title="Duty-cycling ablation (heartbeat-aligned sleep windows)",
+        parameters={"scale": scale.name,
+                    "protocols": list(ENERGY_PROTOCOLS),
+                    "awake_fractions": list(awake_fractions)})
+    for protocol in ENERGY_PROTOCOLS:
+        for awake in awake_fractions:
+            cfg = energy_scenario(scale, protocol, awake_fraction=awake)
+            multi = run_seeds(cfg, scale.seed_list())
+            summary = multi.summary()
+            result.rows.append({
+                "protocol": protocol, "awake_fraction": awake,
+                "reliability": summary["reliability"].mean,
+                "joules_per_node": summary["joules_per_node"].mean,
+                "joules_per_delivery": summary["joules_per_delivery"].mean,
+                "bandwidth_bytes": summary["bandwidth_bytes"].mean})
+    return result
+
+
+# --------------------------------------------------------------------------
 # Related work (paper Section 6): broadcast-storm schemes
 # --------------------------------------------------------------------------
 
@@ -485,5 +595,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[Optional[Scale]], ExperimentResult]] = {
     "fig19": fig19, "fig20": fig20,
     "abl-gc": ablation_gc, "abl-backoff": ablation_backoff,
     "abl-adaptive-hb": ablation_heartbeat, "abl-ids": ablation_ids,
+    "abl-dutycycle": ablation_dutycycle,
     "related-work": related_work_comparison,
+    "energy-lifetime": energy_lifetime,
 }

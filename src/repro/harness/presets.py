@@ -14,7 +14,7 @@ Select with the ``REPRO_SCALE`` environment variable (``quick`` default,
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 
@@ -35,9 +35,16 @@ class Scale:
     seeds: int                 # paper: 30
     # Sweep granularity (indices into the paper's full parameter lists)
     sweep_density: str         # "coarse" or "full"
+    # First seed of the averaging window (CLI --seed re-bases every
+    # figure onto a fresh deterministic seed set without editing presets).
+    seed_base: int = 0
 
-    def seed_list(self, base: int = 0) -> List[int]:
-        return [base + i for i in range(self.seeds)]
+    def seed_list(self, base: Optional[int] = None) -> List[int]:
+        start = self.seed_base if base is None else base
+        return [start + i for i in range(self.seeds)]
+
+    def with_seed_base(self, base: int) -> "Scale":
+        return replace(self, seed_base=base)
 
     def pick(self, full: Sequence, coarse: Sequence) -> List:
         """Choose the full or coarse sweep values for this scale."""

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 from typing import Dict, List, Optional, Sequence
 
 from repro.harness.experiments import ExperimentResult
@@ -18,6 +19,8 @@ def _render_cell(value) -> str:
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):
+        if not math.isfinite(value):
+            return str(value)           # inf / nan (e.g. mains battery)
         if value == int(value) and abs(value) < 1e6:
             return str(int(value))
         return f"{value:.4g}"
@@ -69,6 +72,28 @@ def to_csv(result: ExperimentResult, path: str) -> None:
         writer = csv.DictWriter(f, fieldnames=columns)
         writer.writeheader()
         writer.writerows(result.rows)
+
+
+def depletion_timeline(deaths: Sequence[tuple], n_nodes: int,
+                       horizon_s: float, buckets: int = 10) -> str:
+    """Survivors-over-time table from ``(death_time, node_id)`` records.
+
+    The energy experiments' network-lifetime view: how many radios were
+    still up at each slice of the measurement window.
+    """
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be positive")
+    times = sorted(t for t, _ in deaths)
+    rows = []
+    for i in range(1, buckets + 1):
+        t = horizon_s * i / buckets
+        dead = sum(1 for d in times if d <= t)
+        alive = n_nodes - dead
+        rows.append({"t [s]": t, "survivors": alive,
+                     "alive [%]": 100.0 * alive / n_nodes})
+    return format_table(rows)
 
 
 def reliability_grid(result: ExperimentResult, row_key: str,

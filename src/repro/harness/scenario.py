@@ -34,6 +34,7 @@ from repro.core.base import PubSubProtocol
 from repro.core.config import FrugalConfig
 from repro.core.events import Event, EventFactory
 from repro.core.protocol import FrugalPubSub
+from repro.energy import EnergyAccountant, EnergyConfig
 from repro.metrics import (MetricsCollector, ReliabilityReport,
                            event_reliability, mean_reliability)
 from repro.mobility import (CitySection, MobilityModel, RandomWaypoint,
@@ -164,6 +165,7 @@ class ScenarioConfig:
     other_topic: str = ".paper.other"
     publications: Tuple[Publication, ...] = ()
     speed_sensor: bool = True
+    energy: Optional[EnergyConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_processes < 1:
@@ -216,6 +218,7 @@ class ScenarioResult:
     non_subscriber_ids: List[int]
     sim_events_processed: int
     wallclock_s: float
+    energy: Optional[EnergyAccountant] = None
 
     # -- reliability -------------------------------------------------------------
 
@@ -241,15 +244,75 @@ class ScenarioResult:
     def parasites_per_process(self) -> float:
         return self.collector.parasites_per_process()
 
+    # -- energy (only when the scenario is energy-instrumented) --------------------
+
+    def total_joules(self) -> float:
+        return 0.0 if self.energy is None else self.energy.total_joules()
+
+    def joules_per_node(self) -> float:
+        return 0.0 if self.energy is None else self.energy.joules_per_node()
+
+    def joules_per_delivery(self) -> float:
+        """Joules the whole network burned per in-time delivery — the
+        paper's frugality claim priced in energy instead of bytes."""
+        if self.energy is None:
+            return 0.0
+        delivered = sum(r.delivered_in_time for r in
+                        self.per_event_reports())
+        if delivered == 0:
+            return float("inf")
+        return self.energy.total_joules() / delivered
+
+    def network_lifetime_s(self) -> float:
+        """Seconds from measurement start until the first battery death
+        (the full window if everyone survived)."""
+        if self.energy is None:
+            return float(self.config.duration)
+        end = self.config.warmup + self.config.duration
+        return self.energy.network_lifetime_s(end) - self.config.warmup
+
+    def survivor_ids(self) -> List[int]:
+        if self.energy is None:
+            return [n for n in self.subscriber_ids + self.non_subscriber_ids]
+        return self.energy.survivor_ids()
+
+    def survivor_fraction(self) -> float:
+        if self.energy is None:
+            return 1.0
+        return len(self.energy.survivor_ids()) / self.config.n_processes
+
+    def survivor_reliability(self) -> float:
+        """Reliability computed over the subscribers whose batteries
+        lasted — did the network serve the devices that stayed up?"""
+        if self.energy is None:
+            return self.reliability()
+        dead = set(self.energy.depleted_ids())
+        survivors = [i for i in self.subscriber_ids if i not in dead]
+        if not survivors:
+            return 0.0
+        reports = [event_reliability(self.collector, event, survivors)
+                   for event in self.published_events]
+        return mean_reliability(reports)
+
     def summary(self) -> Dict[str, float]:
-        """The four paper metrics plus reliability, as a flat dict."""
-        return {
+        """The four paper metrics plus reliability (and, for
+        energy-instrumented scenarios, the energy metrics), flat."""
+        out = {
             "reliability": self.reliability(),
             "bandwidth_bytes": self.bandwidth_per_process_bytes(),
             "events_sent": self.events_sent_per_process(),
             "duplicates": self.duplicates_per_process(),
             "parasites": self.parasites_per_process(),
         }
+        if self.energy is not None:
+            out.update({
+                "joules_per_node": self.joules_per_node(),
+                "joules_per_delivery": self.joules_per_delivery(),
+                "lifetime_s": self.network_lifetime_s(),
+                "survivor_fraction": self.survivor_fraction(),
+                "survivor_reliability": self.survivor_reliability(),
+            })
+        return out
 
 
 # --------------------------------------------------------------------------
@@ -286,8 +349,30 @@ def select_subscribers(config: ScenarioConfig,
     return sorted(rng.sample(range(config.n_processes), n_subs))
 
 
-def build_world(config: ScenarioConfig):
-    """Construct simulator, medium, nodes and collector (no events yet).
+@dataclass
+class World:
+    """A fully wired simulation, ready to run.
+
+    Iterates as the historical ``(sim, medium, collector, nodes,
+    subscriber_ids)`` 5-tuple so existing unpacking call sites keep
+    working; the energy accountant (present only for energy-instrumented
+    configs) is reached by name.
+    """
+
+    sim: Simulator
+    medium: WirelessMedium
+    collector: MetricsCollector
+    nodes: List[Node]
+    subscriber_ids: List[int]
+    energy: Optional[EnergyAccountant] = None
+
+    def __iter__(self):
+        return iter((self.sim, self.medium, self.collector, self.nodes,
+                     self.subscriber_ids))
+
+
+def build_world(config: ScenarioConfig) -> World:
+    """Construct simulator, medium, nodes and collectors (no events yet).
 
     Exposed separately from :func:`run_scenario` so tests and examples can
     poke at a fully wired world before/while it runs.
@@ -297,6 +382,8 @@ def build_world(config: ScenarioConfig):
     medium = WirelessMedium(sim, config.radio, config=config.medium,
                             sizes=config.sizes, rng=rngs.stream("medium"))
     collector = MetricsCollector(medium)
+    accountant = (EnergyAccountant(medium, config.energy)
+                  if config.energy is not None else None)
     subscriber_ids = select_subscribers(config, rngs)
     subscriber_set = set(subscriber_ids)
     nodes: List[Node] = []
@@ -311,14 +398,18 @@ def build_world(config: ScenarioConfig):
                  else config.other_topic)
         protocol.subscribe(topic)
         collector.track_node(node)
+        if accountant is not None:
+            accountant.track_node(node)
         nodes.append(node)
-    return sim, medium, collector, nodes, subscriber_ids
+    return World(sim=sim, medium=medium, collector=collector, nodes=nodes,
+                 subscriber_ids=subscriber_ids, energy=accountant)
 
 
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     """Run one trial: warm-up, publications, measurement window."""
     started = _wallclock.perf_counter()
-    sim, medium, collector, nodes, subscriber_ids = build_world(config)
+    world = build_world(config)
+    sim, medium, collector, nodes, subscriber_ids = world
     subscriber_set = set(subscriber_ids)
     non_subscribers = [n.id for n in nodes if n.id not in subscriber_set]
 
@@ -331,6 +422,10 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         collector.freeze()
         sim.run(until=config.warmup)
         collector.resume()
+    if world.energy is not None:
+        # Warm-up traffic is free: zero the meters and refill batteries
+        # so lifetime clocks start with the measurement window.
+        world.energy.start_measurement()
 
     # Schedule the publications.
     published: List[Event] = []
@@ -353,6 +448,9 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
 
     sim.run(until=config.warmup + config.duration)
 
+    if world.energy is not None:
+        world.energy.finalize()
+
     return ScenarioResult(
         config=config,
         collector=collector,
@@ -360,4 +458,5 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         subscriber_ids=subscriber_ids,
         non_subscriber_ids=non_subscribers,
         sim_events_processed=sim.events_processed,
-        wallclock_s=_wallclock.perf_counter() - started)
+        wallclock_s=_wallclock.perf_counter() - started,
+        energy=world.energy)

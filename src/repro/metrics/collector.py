@@ -109,6 +109,8 @@ class MetricsCollector:
                 row.useful_receptions += 1
 
     def _on_deliver(self, node: Node, event: Event) -> None:
+        if self._frozen:
+            return   # outside the measurement window (warm-up / post-run)
         times = self.delivery_times[event.event_id]
         times.setdefault(node.id, node.sim.now)
 

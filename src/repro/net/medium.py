@@ -93,6 +93,11 @@ class WirelessMedium:
         self.on_transmit: Optional[Callable[[int, Message, int], None]] = None
         self.on_receive: Optional[Callable[[int, Message], None]] = None
         self.on_drop: Optional[Callable[[int, Message, str], None]] = None
+        # Radio-occupancy hooks (energy accountant subscribes to these):
+        # called with (node_id, airtime_s) whenever a node's radio is
+        # busy transmitting its own frame / overlapped by an audible one.
+        self.on_tx_window: Optional[Callable[[int, float], None]] = None
+        self.on_rx_window: Optional[Callable[[int, float], None]] = None
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_collided = 0
@@ -123,6 +128,9 @@ class WirelessMedium:
         sender = self._nodes.get(sender_id)
         if sender is None or not sender.alive:
             return  # sender crashed while the frame was queued
+        if sender.asleep:
+            sender.send(message)   # radio duty-cycled off mid-backoff:
+            return                 # requeue the frame for the next wake
         pos = sender.position()
         if (self.config.csma_enabled
                 and attempt < self.config.max_csma_retries
@@ -166,12 +174,19 @@ class WirelessMedium:
         self.frames_sent += 1
         if self.on_transmit is not None:
             self.on_transmit(sender.id, message, size)
-        # Snapshot receivers at transmission start.
-        for node in self._nodes.values():
-            if node.id == sender.id or not node.alive:
+        if self.on_tx_window is not None:
+            self.on_tx_window(sender.id, duration)
+        # Snapshot receivers at transmission start.  A sleeping radio is
+        # deaf *and* free: it neither receives the frame nor pays the RX
+        # energy for it.  Iterate a copy: charging an RX window can
+        # deplete the receiver's battery and unregister it mid-loop.
+        for node in list(self._nodes.values()):
+            if node.id == sender.id or not node.listening:
                 continue
             rx_pos = node.position()
             if tx.audible_at(rx_pos):
+                if self.on_rx_window is not None:
+                    self.on_rx_window(node.id, duration)
                 self.sim.schedule(duration, self._deliver, tx, node.id,
                                   rx_pos)
 
@@ -186,8 +201,8 @@ class WirelessMedium:
     def _deliver(self, tx: Transmission, receiver_id: int,
                  rx_pos: Vec2) -> None:
         node = self._nodes.get(receiver_id)
-        if node is None or not node.alive:
-            return
+        if node is None or not node.listening:
+            return  # crashed, drained or duty-cycled off mid-frame
         if self.config.model_collisions and self._corrupted(tx, receiver_id,
                                                             rx_pos):
             self.frames_collided += 1

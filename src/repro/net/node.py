@@ -33,11 +33,18 @@ class Node:
         self._rng = rng
         self.speed_sensor = speed_sensor
         self.alive = False
+        self.asleep = False
+        self.depleted = False
         self._started = False
         self._timers: List[Timer] = []
         self._periodics: List[PeriodicTask] = []
+        self._deferred_sends: List[Message] = []
         self.delivered_events: List[Event] = []
         self.on_deliver: Optional[Callable[["Node", Event], None]] = None
+        # Radio state-transition hook ("sleep" / "wake" / "down"); the
+        # energy accountant subscribes to charge SLEEP time and record
+        # battery deaths.
+        self.on_radio_state: Optional[Callable[["Node", str], None]] = None
         protocol.attach(self)
         medium.register(self)
 
@@ -69,13 +76,72 @@ class Node:
         for task in self._periodics:
             task.stop()
         self._periodics.clear()
+        self._deferred_sends.clear()
 
     def recover(self) -> None:
         """Restart the protocol after a crash (volatile state was lost)."""
-        if self.alive:
+        if self.alive or self.depleted:
             return
         self.alive = True
         self.protocol.on_start()
+
+    def power_down(self) -> None:
+        """Battery exhausted: fail-stop *permanently* and leave the medium.
+
+        Unlike :meth:`crash`, a drained node cannot :meth:`recover` and is
+        unregistered from the medium — it transmits nothing, receives
+        nothing and no longer counts as a potential relay.  This is what
+        network-lifetime experiments measure.
+        """
+        if self.depleted:
+            return
+        self.crash()
+        self.depleted = True
+        self.asleep = False
+        self.medium.unregister(self.id)
+        if self.on_radio_state is not None:
+            self.on_radio_state(self, "down")
+
+    def repower(self) -> None:
+        """A fresh battery was installed in a drained device: rejoin the
+        medium and restart the protocol (volatile state was lost, as
+        after any crash).  Used at measurement-window start for nodes
+        that ran dry during warm-up."""
+        if not self.depleted:
+            return
+        self.depleted = False
+        if self.id not in self.medium.nodes:
+            self.medium.register(self)
+        self.recover()
+
+    # -- duty cycling ---------------------------------------------------------------
+
+    @property
+    def listening(self) -> bool:
+        """Radio able to receive: powered, booted and not duty-cycled off."""
+        return self.alive and not self.asleep
+
+    def sleep(self) -> None:
+        """Switch the radio off (duty cycle): deaf until :meth:`wake`,
+        outbound frames queue instead of transmitting."""
+        if not self.alive or self.asleep:
+            return
+        self.asleep = True
+        if self.on_radio_state is not None:
+            self.on_radio_state(self, "sleep")
+
+    def wake(self) -> None:
+        """Switch the radio back on and flush frames queued while asleep
+        (they contend on the channel in queueing order)."""
+        if not self.alive or not self.asleep:
+            return
+        self.asleep = False
+        if self.on_radio_state is not None:
+            self.on_radio_state(self, "wake")
+        if self._deferred_sends:
+            pending, self._deferred_sends = self._deferred_sends, []
+            for message in pending:
+                self.medium.broadcast(self.id, message)
 
     # -- Host interface ----------------------------------------------------------------
 
@@ -89,6 +155,9 @@ class Node:
 
     def send(self, message: Message) -> None:
         if not self.alive:
+            return
+        if self.asleep:
+            self._deferred_sends.append(message)
             return
         self.medium.broadcast(self.id, message)
 

@@ -19,6 +19,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig13", "--scale", "huge"])
 
+    def test_seed_flag_parsed(self):
+        args = build_parser().parse_args(["fig13", "--seed", "7"])
+        assert args.seed == 7
+        assert build_parser().parse_args(["fig13"]).seed is None
+
 
 class TestMain:
     def test_list_prints_all_experiments(self, capsys):
@@ -48,3 +53,21 @@ class TestMain:
         with open(path) as f:
             rows = list(csv.DictReader(f))
         assert len(rows) == 3          # TINY sweeps 1/3/5 s bounds
+
+    def test_seed_flag_rebases_the_seed_list(self, capsys, monkeypatch):
+        """--seed must reach the experiment as the scale's seed_base, so
+        every run_seeds() call starts from the requested seed."""
+        from repro.harness import cli
+        seen = {}
+
+        def probe(scale):
+            seen["seeds"] = scale.seed_list()
+            from repro.harness.experiments import ExperimentResult
+            return ExperimentResult(experiment_id="fig13", title="probe",
+                                    parameters={},
+                                    rows=[{"reliability": 1.0}])
+
+        monkeypatch.setitem(cli.ALL_EXPERIMENTS, "fig13", probe)
+        assert main(["fig13", "--seed", "100"]) == 0
+        assert seen["seeds"][0] == 100
+        assert seen["seeds"] == sorted(seen["seeds"])

@@ -51,6 +51,19 @@ class TestExamplesRun:
         assert "6/6 nodes delivered" in out
         assert "deliver node=5" in out
 
+    def test_energy_budget(self, capsys):
+        load_example("energy_budget").main(seed=2)
+        out = capsys.readouterr().out
+        assert "Campus on batteries" in out
+        assert "Survivors over time — frugal" in out
+        assert "J per delivered event" in out
+        # The story the example exists to tell: the frugal campus keeps
+        # more devices alive than the flooding one on equal batteries.
+        tail = out.rsplit("keeps", 1)[1]
+        frugal_alive = int(tail.split("of")[0].strip())
+        flood_alive = int(tail.split("flooding:")[1].split(")")[0].strip())
+        assert frugal_alive > flood_alive
+
     @pytest.mark.slow
     def test_protocol_comparison(self, capsys):
         load_example("protocol_comparison").main(n_events=2, interest=0.6)

@@ -151,5 +151,5 @@ class TestRegistry:
     def test_all_figures_and_ablations_registered(self):
         expected = {f"fig{i}" for i in range(11, 21)} | {
             "abl-gc", "abl-backoff", "abl-adaptive-hb", "abl-ids",
-            "related-work"}
+            "abl-dutycycle", "related-work", "energy-lifetime"}
         assert set(ALL_EXPERIMENTS) == expected

@@ -21,7 +21,12 @@ class StubNode:
         self.id = node_id
         self.pos = pos
         self.alive = True
+        self.asleep = False
         self.received: List = []
+
+    @property
+    def listening(self) -> bool:
+        return self.alive and not self.asleep
 
     def position(self) -> Vec2:
         return self.pos
@@ -54,6 +59,20 @@ class TestBroadcastLocality:
         assert len(edge.received) == 1      # boundary inclusive
         assert far.received == []
         assert sender.received == []        # no self-reception
+
+    def test_rx_window_hook_may_unregister_mid_transmit(self, sim):
+        """Charging an RX window can kill the receiver's battery, which
+        unregisters it from the medium while _transmit is still walking
+        the node table — that must not blow up the iteration."""
+        medium = make_medium(sim, range_m=100.0)
+        nodes = [StubNode(i, Vec2(10.0 * i, 0)) for i in range(4)]
+        for n in nodes:
+            medium.register(n)
+        medium.on_rx_window = lambda nid, dur: medium.unregister(2)
+        medium.broadcast(0, hb(0))
+        sim.run_until_idle()
+        assert 2 not in medium.nodes
+        assert len(nodes[1].received) == 1
 
     def test_duplicate_node_id_rejected(self, sim):
         medium = make_medium(sim)

@@ -64,6 +64,20 @@ class TestTransmitAccounting:
         sim.run(until=8.0)
         assert collector.total_bytes() > 0
 
+    def test_freeze_suspends_delivery_timestamps(self, sim, rngs):
+        """Deliveries outside the measurement window must not leak into
+        the reliability figures."""
+        medium, collector, nodes = build_pair(sim, rngs)
+        event = make_event(publisher=0, topic=".a.x", validity=600.0,
+                           now=0.0)
+        collector.record_publication(event)
+        collector.freeze()
+        nodes[1].deliver(event)
+        assert collector.deliveries_of(event.event_id) == {}
+        collector.resume()
+        nodes[1].deliver(event)
+        assert 1 in collector.deliveries_of(event.event_id)
+
 
 class TestReceptionClassification:
     def test_first_reception_useful_second_duplicate(self, sim, rngs):

@@ -16,6 +16,11 @@ class TestUnitConversions:
         for dbm in (-90.0, -30.0, 0.0, 15.0):
             assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm)
 
+    def test_mw_dbm_round_trip(self):
+        """The other direction: mw -> dbm -> mw."""
+        for mw in (1e-9, 0.5, 1.0, 2.5, 100.0):
+            assert dbm_to_mw(mw_to_dbm(mw)) == pytest.approx(mw)
+
     def test_known_points(self):
         assert dbm_to_mw(0.0) == 1.0
         assert dbm_to_mw(10.0) == pytest.approx(10.0)
@@ -85,6 +90,46 @@ class TestRadioConfig:
         city = RadioConfig.paper_city_section()
         assert city.communication_range_m() == 44.0
         assert city.sensitivity_dbm == -65.0
+
+    def test_bluetooth_preset(self):
+        """The paper's other example MAC: class-2 power, ~10 m radius."""
+        bt = RadioConfig.bluetooth()
+        assert bt.tx_power_dbm == 4.0
+        assert bt.communication_range_m() == 10.0
+        assert bt.data_rate_bps == 1_000_000.0
+        # 2.5 mW class-2 budget, to float precision.
+        assert dbm_to_mw(bt.tx_power_dbm) == pytest.approx(2.5, rel=0.01)
+        # Far shorter reach than the 802.11b presets at the same rate.
+        assert bt.communication_range_m() < RadioConfig.\
+            paper_random_waypoint().communication_range_m()
+
+    def test_two_ray_range_below_crossover_uses_free_space(self):
+        """A weak link budget dies before the two-ray crossover, so the
+        solved range must come from the free-space branch."""
+        cfg = RadioConfig(sensitivity_dbm=-60.0,
+                          path_loss=PathLossModel.TWO_RAY)
+        cross = two_ray_crossover_m(cfg.frequency_hz,
+                                    cfg.antenna_height_m,
+                                    cfg.antenna_height_m)
+        r = cfg.communication_range_m()
+        assert r < cross
+        free = RadioConfig(sensitivity_dbm=-60.0,
+                           path_loss=PathLossModel.FREE_SPACE)
+        assert r == pytest.approx(free.communication_range_m())
+
+    def test_two_ray_range_beyond_crossover_uses_two_ray_branch(self):
+        """The default budget reaches past the crossover: the range must
+        differ from the free-space solution and still close the budget."""
+        cfg = RadioConfig(path_loss=PathLossModel.TWO_RAY)
+        cross = two_ray_crossover_m(cfg.frequency_hz,
+                                    cfg.antenna_height_m,
+                                    cfg.antenna_height_m)
+        r = cfg.communication_range_m()
+        assert r > cross
+        free = RadioConfig(path_loss=PathLossModel.FREE_SPACE)
+        assert r < free.communication_range_m()
+        assert cfg.received_power_dbm(r) == \
+            pytest.approx(cfg.sensitivity_dbm, abs=1e-6)
 
     def test_paper_rates_table(self):
         assert RadioConfig.paper_random_waypoint(
