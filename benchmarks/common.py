@@ -17,18 +17,50 @@ sweep is computed once per scale and shared across those benchmarks via
 
 from __future__ import annotations
 
+import os
 import pathlib
 import sys
 from typing import Dict, Tuple
 
+from repro.harness import parallel
+from repro.harness.cache import ResultCache, default_cache_dir
 from repro.harness.experiments import (ExperimentResult,
                                        frugality_comparison)
 from repro.harness.presets import Scale, get_scale
-from repro.harness.reporting import format_experiment, to_csv
+from repro.harness.reporting import (format_engine_stats, format_experiment,
+                                     to_csv)
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 _SWEEP_CACHE: Dict[Tuple[str, Tuple[str, ...]], ExperimentResult] = {}
+
+
+def configure_engine() -> parallel.ParallelRunner:
+    """Install the benchmark execution engine from the environment.
+
+    ``REPRO_JOBS`` selects the worker count (0 = all CPUs, default 1).
+    Every ``bench_fig*`` sweep goes through
+    :func:`repro.harness.parallel.run_seeds`, so this single
+    configuration parallelises the whole suite.
+
+    The result cache is **opt-in** here (``REPRO_CACHE=1``), the
+    opposite of the CLI's default: this is a *timing* suite, and a warm
+    cache would silently turn every benchmark into a measurement of
+    pickle loads, hiding real simulation regressions.
+    """
+    jobs = parallel.resolve_jobs()
+    cache = (ResultCache(default_cache_dir())
+             if os.environ.get("REPRO_CACHE") else None)
+    return parallel.configure(jobs=jobs, cache=cache)
+
+
+ENGINE = configure_engine()
+
+
+def engine_stats_line() -> str:
+    """The engine's cache-hit report for the session so far."""
+    return format_engine_stats(ENGINE.stats, jobs=ENGINE.jobs,
+                               cached=ENGINE.cache is not None)
 
 
 def scale() -> Scale:

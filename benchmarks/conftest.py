@@ -15,15 +15,26 @@ from repro.harness.presets import get_scale   # noqa: E402
 
 
 def pytest_report_header(config):
+    import common
     scale = get_scale()
+    engine = common.ENGINE
+    cache = ("cache on (timings measure cache reads!)"
+             if engine.cache is not None
+             else "cache off (REPRO_CACHE=1 to enable)")
     return (f"repro experiment scale: {scale.name} "
-            f"(REPRO_SCALE=paper for the full paper grids)")
+            f"(REPRO_SCALE=paper for the full paper grids); "
+            f"engine: {engine.jobs} job(s) (REPRO_JOBS=N), {cache}")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     """Replay every reproduced figure after capture ends, so the tables
     land in ``bench_output.txt`` without needing ``-s``."""
     import common
+    # Engine teardown + stats always run, even when no figure published
+    # (a failed or deselected session must still reap the worker pool).
+    if common.ENGINE.stats.total:
+        terminalreporter.write_line(common.engine_stats_line())
+    common.ENGINE.close()
     if not common.PUBLISHED:
         return
     terminalreporter.write_sep("=", "reproduced figures")

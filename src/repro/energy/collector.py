@@ -38,6 +38,21 @@ class EnergyConfig:
             raise ValueError("battery_capacity_j must be positive")
 
 
+@dataclass(frozen=True)
+class _FrozenEnergyModel:
+    """Immutable stand-in for an :class:`EnergyModel` after unpickling.
+
+    Carries exactly the readings the accountant's aggregate methods
+    consume; it has no simulator, battery or callbacks, so a detached
+    accountant is a pure record of what the run cost.
+    """
+
+    node_id: int
+    total_joules: float
+    joules_by_state: Dict["RadioState", float]
+    depleted: bool
+
+
 class EnergyAccountant:
     """Meter every node on a medium; kill the ones that run dry."""
 
@@ -102,6 +117,40 @@ class EnergyAccountant:
         node = self._nodes.get(node_id)
         if node is not None:
             node.power_down()
+
+    # -- pickling (parallel execution / result cache) ---------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle frozen per-node meter readings, not live models.
+
+        Each :class:`EnergyModel` references the simulator (pending
+        depletion timers and all); shipping that across a process
+        boundary would drag the whole world along.  The pickled form
+        replaces every model with an immutable snapshot exposing the
+        attributes the aggregate methods read (``total_joules``,
+        ``joules_by_state``, ``depleted``), so an unpickled accountant
+        answers every metrics question but cannot meter anything new.
+        """
+        return {
+            "config": self.config,
+            "deaths": list(self.deaths),
+            "models": {
+                node_id: _FrozenEnergyModel(
+                    node_id=node_id,
+                    total_joules=model.total_joules,
+                    joules_by_state=dict(model.joules_by_state),
+                    depleted=model.depleted)
+                for node_id, model in self.models.items()
+            },
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.config = state["config"]
+        self.deaths = state["deaths"]
+        self.models = state["models"]
+        self.medium = None
+        self.cyclers = {}
+        self._nodes = {}
 
     # -- lifecycle ------------------------------------------------------------
 

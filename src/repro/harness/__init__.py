@@ -3,6 +3,9 @@
 * :mod:`repro.harness.scenario` — declarative scenario configs and the
   world builder/runner,
 * :mod:`repro.harness.runner` — multi-seed averaging with paired seeds,
+* :mod:`repro.harness.parallel` — the parallel execution engine
+  (process pool, deterministic ordering, cache integration),
+* :mod:`repro.harness.cache` — the on-disk result cache,
 * :mod:`repro.harness.presets` — `quick` vs `paper` experiment scales,
 * :mod:`repro.harness.experiments` — one function per paper figure
   (Figs. 11-20) plus ablations,
@@ -16,12 +19,16 @@ from repro.harness.scenario import (CitySectionSpec, MobilitySpec,
                                     make_protocol, run_scenario)
 from repro.harness.runner import (Aggregate, MultiSeedResult, aggregate,
                                   run_matrix, run_seeds)
+from repro.harness.cache import ResultCache, code_version_tag, config_digest
+from repro.harness.parallel import EngineStats, ParallelRunner
 from repro.harness.presets import PAPER, QUICK, Scale, get_scale
 from repro.harness.experiments import (ALL_EXPERIMENTS, ExperimentResult,
                                        city_scenario, energy_scenario,
                                        frugality_comparison, rwp_scenario)
-from repro.harness.reporting import (depletion_timeline, format_experiment,
-                                     format_table, reliability_grid, to_csv)
+from repro.harness.reporting import (depletion_timeline,
+                                     format_engine_stats,
+                                     format_experiment, format_table,
+                                     reliability_grid, to_csv)
 
 __all__ = [
     "CitySectionSpec",
@@ -40,6 +47,12 @@ __all__ = [
     "aggregate",
     "run_matrix",
     "run_seeds",
+    "EngineStats",
+    "ParallelRunner",
+    "ResultCache",
+    "code_version_tag",
+    "config_digest",
+    "format_engine_stats",
     "PAPER",
     "QUICK",
     "Scale",

@@ -5,10 +5,18 @@ Run any reproduced figure or ablation from a shell::
     python -m repro.harness.cli list
     python -m repro.harness.cli fig13
     python -m repro.harness.cli fig17 --scale paper --csv out/fig17.csv
+    python -m repro.harness.cli fig17 --jobs 8            # 8 worker processes
+    python -m repro.harness.cli fig17 --no-cache          # always recompute
     python -m repro.harness.cli all --out-dir results/
 
 Equivalent to the benchmark suite minus the timing machinery — handy on a
 cluster where each figure is one job.
+
+Multi-seed sweeps fan out over ``--jobs`` worker processes (spawn-safe,
+bit-identical to serial execution) and consult an on-disk result cache so
+re-running a figure only computes the missing cells.  The cache lives in
+``--cache-dir`` (default: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``) and
+invalidates automatically on any source change.
 """
 
 from __future__ import annotations
@@ -18,9 +26,12 @@ import pathlib
 import sys
 from typing import List, Optional
 
+from repro.harness import parallel
+from repro.harness.cache import ResultCache, default_cache_dir
 from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.harness.presets import get_scale
-from repro.harness.reporting import format_experiment, to_csv
+from repro.harness.reporting import (format_engine_stats, format_experiment,
+                                     to_csv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +51,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-base the deterministic seed set on this first seed "
              "(default: the scale's seed_base, 0)")
     parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for multi-seed sweeps (default: REPRO_JOBS "
+             "env or 1 = serial in-process; 0 = all CPUs)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache (always recompute)")
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: REPRO_CACHE_DIR env or "
+             "./.repro-cache)")
+    parser.add_argument(
         "--csv", default=None,
         help="write the result rows to this CSV file")
     parser.add_argument(
@@ -48,13 +70,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def configure_engine(jobs: Optional[int], no_cache: bool,
+                     cache_dir: Optional[str]) -> parallel.ParallelRunner:
+    """Install the process-wide engine from the CLI flags."""
+    cache = None if no_cache else ResultCache(
+        pathlib.Path(cache_dir) if cache_dir else default_cache_dir())
+    return parallel.configure(jobs=parallel.resolve_jobs(jobs),
+                              cache=cache)
+
+
 def run_one(experiment_id: str, scale_name: Optional[str],
             csv_path: Optional[str], seed: Optional[int] = None) -> None:
     scale = get_scale(scale_name)
     if seed is not None:
         scale = scale.with_seed_base(seed)
+    runner = parallel.get_default_runner()
+    runner.stats.reset()
     result = ALL_EXPERIMENTS[experiment_id](scale)
     print(format_experiment(result))
+    print(format_engine_stats(runner.stats, jobs=runner.jobs,
+                              cached=runner.cache is not None))
     if csv_path:
         pathlib.Path(csv_path).parent.mkdir(parents=True, exist_ok=True)
         to_csv(result, csv_path)
@@ -69,20 +104,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip()
             print(f"  {name:16s} {doc.splitlines()[0]}")
         return 0
-    if args.experiment == "all":
-        out_dir = pathlib.Path(args.out_dir or "results")
-        out_dir.mkdir(parents=True, exist_ok=True)
-        for name in ALL_EXPERIMENTS:
-            run_one(name, args.scale, str(out_dir / f"{name}.csv"),
-                    seed=args.seed)
-            print()
+    configure_engine(args.jobs, args.no_cache, args.cache_dir)
+    try:
+        if args.experiment == "all":
+            out_dir = pathlib.Path(args.out_dir or "results")
+            out_dir.mkdir(parents=True, exist_ok=True)
+            for name in ALL_EXPERIMENTS:
+                run_one(name, args.scale, str(out_dir / f"{name}.csv"),
+                        seed=args.seed)
+                print()
+            return 0
+        if args.experiment not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {args.experiment!r}; "
+                  f"try 'list'", file=sys.stderr)
+            return 2
+        run_one(args.experiment, args.scale, args.csv, seed=args.seed)
         return 0
-    if args.experiment not in ALL_EXPERIMENTS:
-        print(f"unknown experiment {args.experiment!r}; "
-              f"try 'list'", file=sys.stderr)
-        return 2
-    run_one(args.experiment, args.scale, args.csv, seed=args.seed)
-    return 0
+    finally:
+        # Reap the pool and restore the library default (serial,
+        # uncached) so embedding callers — e.g. the test suite — do not
+        # inherit this invocation's engine configuration.
+        parallel.configure(jobs=1, cache=None)
 
 
 if __name__ == "__main__":

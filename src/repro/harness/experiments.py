@@ -16,7 +16,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.config import FrugalConfig
 from repro.energy import DutyCycleConfig, EnergyConfig, PowerProfile
 from repro.harness.presets import Scale, get_scale
-from repro.harness.runner import aggregate, run_seeds
+# run_seeds resolves through the parallel execution engine: experiments
+# transparently use whatever --jobs / cache configuration the CLI or
+# benchmark suite installed via repro.harness.parallel.configure().
+from repro.harness.parallel import run_seeds
+from repro.harness.runner import aggregate
 from repro.harness.scenario import (CitySectionSpec, Publication,
                                     RandomWaypointSpec, ScenarioConfig,
                                     StationarySpec)

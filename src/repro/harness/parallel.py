@@ -1,0 +1,247 @@
+"""Parallel multi-seed execution engine.
+
+The paper averages every data point over 30 differently-seeded runs, and
+those runs are independent by construction — a sweep is embarrassingly
+parallel work.  This module owns the scheduling: a
+:class:`ParallelRunner` fans fully-specified ``ScenarioConfig`` jobs (one
+per seed) across a process pool, consults an optional on-disk
+:class:`~repro.harness.cache.ResultCache` before computing anything, and
+always returns results in the caller's seed order regardless of which
+worker finished first.
+
+Why ``spawn`` and not ``fork``
+------------------------------
+Workers are started with the multiprocessing *spawn* method on every
+platform, deliberately:
+
+* **Determinism.**  A spawned worker is a pristine interpreter: it
+  imports :mod:`repro` fresh and carries none of the parent's accumulated
+  module-level state (street-map caches, benchmark sweep caches, already
+  seeded global RNGs).  Every scenario therefore executes in exactly the
+  environment a serial run in a fresh process would see, which is what
+  lets the determinism suite assert *bit-identical* serial/parallel
+  results.  A forked worker would instead inherit whatever mutable state
+  the parent happened to have built up at fork time, making results
+  depend on scheduling history.
+* **Safety.**  ``fork`` in a process that might hold locks (logging,
+  pytest capture plugins) deadlocks sporadically; CPython 3.12+ warns and
+  3.14 changed the Linux default to spawn for exactly this reason.
+
+Everything crossing the process boundary — the config out, the
+:class:`~repro.harness.scenario.ScenarioResult` back — must pickle;
+results detach from their live simulation world when pickled (see
+``MetricsCollector.__getstate__`` / ``EnergyAccountant.__getstate__``),
+so the payload is the measurements, not the megabytes of world graph.
+
+With ``jobs=1`` (the default) no pool and no pickling are involved at
+all: jobs run in-process, exactly as the historical serial
+``run_seeds`` did, keeping tier-1 tests dependency- and subprocess-free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.harness.cache import ResultCache
+from repro.harness.runner import MultiSeedResult
+from repro.harness.scenario import (ScenarioConfig, ScenarioResult,
+                                    run_scenario)
+
+#: Environment variable giving the default worker count (CLI/benchmarks).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None, default: int = 1) -> int:
+    """Normalise a worker count: ``None`` reads ``$REPRO_JOBS`` (falling
+    back to ``default``), and ``0`` means "all CPUs".  The single home of
+    that rule — the CLI and the benchmark suite both resolve through it.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV)
+        jobs = default if raw is None else int(raw)
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _execute(config: ScenarioConfig) -> ScenarioResult:
+    """Top-level worker entry point (spawn requires it importable)."""
+    return run_scenario(config)
+
+
+@dataclass
+class EngineStats:
+    """What a runner actually did, for cache-hit reporting."""
+
+    executed: int = 0       # scenarios simulated (here or in a worker)
+    cache_hits: int = 0     # scenarios answered from the result cache
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cache_hits
+
+    def reset(self) -> None:
+        self.executed = 0
+        self.cache_hits = 0
+
+
+class ParallelRunner:
+    """Schedule scenario runs over ``jobs`` worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) executes in-process with no
+        multiprocessing machinery at all; ``N > 1`` keeps a spawn-method
+        pool of N workers alive for the runner's lifetime (use as a
+        context manager, or call :meth:`close`, to reap it).
+    cache:
+        Optional :class:`ResultCache` consulted before executing each
+        job and updated with every fresh result.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None):
+        self._pool = None        # before validation: __del__ always safe
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1: {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.stats = EngineStats()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            ctx = multiprocessing.get_context("spawn")
+            self._pool = ctx.Pool(processes=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Reap the worker pool (idempotent; the runner stays usable —
+        the pool is recreated on the next parallel call)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        self.close()
+
+    # -- execution ------------------------------------------------------------
+
+    def run_configs(self, configs: Sequence[ScenarioConfig]
+                    ) -> List[ScenarioResult]:
+        """Run every config; results align index-for-index with input.
+
+        Cache hits are filled in immediately; the remaining jobs go to
+        the pool (or run serially in-process for ``jobs=1``).  Output
+        order is the input order by construction — completion order
+        never leaks through.  Fresh results are written to the cache as
+        each one arrives (ordered ``imap``, not a batch ``map``), so a
+        run killed mid-sweep still leaves every completed cell on disk
+        and a rerun only computes what is actually missing.
+        """
+        configs = list(configs)
+        results: List[Optional[ScenarioResult]] = [None] * len(configs)
+        pending: List[int] = []
+        for i, config in enumerate(configs):
+            cached = self.cache.get(config) if self.cache else None
+            if cached is not None:
+                results[i] = cached
+                self.stats.cache_hits += 1
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                fresh = (_execute(configs[i]) for i in pending)
+            else:
+                pool = self._ensure_pool()
+                fresh = pool.imap(_execute, [configs[i] for i in pending])
+            for i, result in zip(pending, fresh):
+                results[i] = result
+                self.stats.executed += 1
+                if self.cache is not None:
+                    self.cache.put(result)
+        return results  # type: ignore[return-value]  # all filled above
+
+    def run_seeds(self, config: ScenarioConfig,
+                  seeds: Iterable[int]) -> MultiSeedResult:
+        """Run ``config`` once per seed (everything else held fixed)."""
+        seed_list = list(seeds)
+        if not seed_list:
+            raise ValueError("run_seeds needs at least one seed")
+        results = self.run_configs(
+            [config.with_changes(seed=seed) for seed in seed_list])
+        return MultiSeedResult(results=results)
+
+    def run_matrix(self, configs: Dict[str, ScenarioConfig],
+                   seeds: Iterable[int]) -> Dict[str, MultiSeedResult]:
+        """Run several named configurations over the same seed list.
+
+        Used by the protocol-comparison experiments: each protocol sees
+        the identical seeds, hence identical mobility and subscriber
+        draws.  The whole matrix is submitted as one batch so the pool
+        stays saturated across protocol boundaries.
+        """
+        seed_list = list(seeds)
+        if not seed_list:
+            raise ValueError("run_matrix needs at least one seed")
+        names = list(configs)
+        flat = [configs[name].with_changes(seed=seed)
+                for name in names for seed in seed_list]
+        results = self.run_configs(flat)
+        out: Dict[str, MultiSeedResult] = {}
+        for j, name in enumerate(names):
+            chunk = results[j * len(seed_list):(j + 1) * len(seed_list)]
+            out[name] = MultiSeedResult(results=chunk)
+        return out
+
+
+# --------------------------------------------------------------------------
+# Process-wide default runner
+# --------------------------------------------------------------------------
+#
+# The experiment functions (harness/experiments.py) call the module-level
+# run_seeds/run_matrix below, which delegate to one configurable default
+# runner.  The CLI configures it from its --jobs/--no-cache flags and the
+# benchmark suite from REPRO_JOBS (cache opt-in via REPRO_CACHE=1);
+# library users can pass an explicit runner instead.
+
+_default_runner = ParallelRunner(jobs=1, cache=None)
+
+
+def get_default_runner() -> ParallelRunner:
+    return _default_runner
+
+
+def configure(jobs: int = 1,
+              cache: Optional[ResultCache] = None) -> ParallelRunner:
+    """Replace the process-wide default runner (closing the old pool)."""
+    global _default_runner
+    _default_runner.close()
+    _default_runner = ParallelRunner(jobs=jobs, cache=cache)
+    return _default_runner
+
+
+def run_seeds(config: ScenarioConfig, seeds: Iterable[int],
+              runner: Optional[ParallelRunner] = None) -> MultiSeedResult:
+    """Run ``config`` once per seed via ``runner`` (default: the
+    process-wide engine, serial and uncached unless configured)."""
+    return (runner or _default_runner).run_seeds(config, seeds)
+
+
+def run_matrix(configs: Dict[str, ScenarioConfig], seeds: Iterable[int],
+               runner: Optional[ParallelRunner] = None
+               ) -> Dict[str, MultiSeedResult]:
+    """Run several named configurations over the same seed list."""
+    return (runner or _default_runner).run_matrix(configs, seeds)

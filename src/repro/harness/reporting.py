@@ -74,6 +74,28 @@ def to_csv(result: ExperimentResult, path: str) -> None:
         writer.writerows(result.rows)
 
 
+def format_engine_stats(stats, jobs: int = 1,
+                        cached: bool = False) -> str:
+    """One-line cache-hit/worker report for a sweep.
+
+    ``stats`` is an :class:`~repro.harness.parallel.EngineStats`; the
+    CLI prints this after every experiment so reruns make the cache's
+    contribution visible (``... 120 cells: 90 cached, 30 executed``).
+    """
+    total = stats.total
+    if total == 0:
+        return "engine: no scenario runs"
+    parts = [f"engine: {total} scenario run{'s' if total != 1 else ''}"]
+    if cached:
+        parts.append(f"{stats.cache_hits} from cache")
+        parts.append(f"{stats.executed} executed")
+    else:
+        parts.append(f"{stats.executed} executed (cache disabled)")
+    workers = (f"{jobs} worker processes" if jobs > 1
+               else "in-process, serial")
+    return f"{parts[0]}: " + ", ".join(parts[1:]) + f" [{workers}]"
+
+
 def depletion_timeline(deaths: Sequence[tuple], n_nodes: int,
                        horizon_s: float, buckets: int = 10) -> str:
     """Survivors-over-time table from ``(death_time, node_id)`` records.

@@ -1,9 +1,16 @@
-"""Multi-seed scenario execution and aggregation.
+"""Multi-seed aggregation and the serial execution entry points.
 
 The paper averages every data point over 30 differently seeded runs; this
-module owns that loop.  Seeding is paired: the same seed produces the same
-mobility traces and subscriber draw for every protocol, so protocol
-comparisons (Figs. 17-20) are paired comparisons, not independent samples.
+module owns the statistics of that loop.  Seeding is paired: the same seed
+produces the same mobility traces and subscriber draw for every protocol,
+so protocol comparisons (Figs. 17-20) are paired comparisons, not
+independent samples.
+
+Scheduling (including the worker pool and the on-disk result cache) lives
+in :mod:`repro.harness.parallel`; the :func:`run_seeds`/:func:`run_matrix`
+functions here delegate to the process-wide engine, so existing callers
+transparently pick up whatever ``--jobs``/cache configuration the CLI or
+benchmark suite installed.
 """
 
 from __future__ import annotations
@@ -14,6 +21,9 @@ from typing import Callable, Dict, Iterable, List, Sequence
 
 from repro.harness.scenario import ScenarioConfig, ScenarioResult, \
     run_scenario
+
+__all__ = ["Aggregate", "aggregate", "MultiSeedResult", "run_seeds",
+           "run_matrix", "run_scenario"]
 
 
 @dataclass(frozen=True)
@@ -29,10 +39,22 @@ class Aggregate:
 
 
 def aggregate(values: Sequence[float]) -> Aggregate:
-    """Population mean/std of a metric series (n >= 1)."""
+    """Population mean/std of a metric series (n >= 1).
+
+    Non-finite inputs are rejected outright: a single ``inf`` (e.g.
+    ``joules_per_delivery`` of a run that delivered nothing) or ``nan``
+    would silently poison the mean of all 30 seeds, which is far worse
+    than failing loudly at the offending data point.
+    """
     vals = list(values)
     if not vals:
         raise ValueError("cannot aggregate an empty series")
+    for v in vals:
+        if not math.isfinite(v):
+            raise ValueError(
+                f"cannot aggregate non-finite value {v!r}: one bad seed "
+                f"would corrupt the whole mean — filter or guard the "
+                f"metric (series: {vals!r})")
     mean = sum(vals) / len(vals)
     var = sum((v - mean) ** 2 for v in vals) / len(vals)
     return Aggregate(mean=mean, std=math.sqrt(var), n=len(vals))
@@ -48,13 +70,30 @@ class MultiSeedResult:
         return aggregate([fn(r) for r in self.results])
 
     def summary(self) -> Dict[str, Aggregate]:
-        """Aggregates of the five standard metrics."""
+        """Aggregates of the five standard metrics.
+
+        ``joules_per_delivery`` is ``inf`` *by design* for a seed that
+        delivered nothing in time (PR 1's inf-safe convention), so a
+        metric series containing ``inf`` — but no ``nan`` — aggregates
+        to an honestly-infinite mean instead of tripping
+        :func:`aggregate`'s strictness and aborting the whole sweep.
+        The std of such a series is undefined and reported as ``nan``
+        (the table renderer prints non-finite cells verbatim).
+        """
         keys = self.results[0].summary().keys()
         series: Dict[str, List[float]] = {k: [] for k in keys}
         for result in self.results:
             for key, value in result.summary().items():
                 series[key].append(value)
-        return {k: aggregate(v) for k, v in series.items()}
+        out: Dict[str, Aggregate] = {}
+        for key, vals in series.items():
+            if any(math.isinf(v) for v in vals) \
+                    and not any(math.isnan(v) for v in vals):
+                out[key] = Aggregate(mean=math.inf, std=math.nan,
+                                     n=len(vals))
+            else:
+                out[key] = aggregate(vals)   # nan still fails loudly
+        return out
 
     @property
     def reliability(self) -> Aggregate:
@@ -63,12 +102,15 @@ class MultiSeedResult:
 
 def run_seeds(config: ScenarioConfig,
               seeds: Iterable[int]) -> MultiSeedResult:
-    """Run ``config`` once per seed (everything else held fixed)."""
-    results = [run_scenario(config.with_changes(seed=seed))
-               for seed in seeds]
-    if not results:
-        raise ValueError("run_seeds needs at least one seed")
-    return MultiSeedResult(results=results)
+    """Run ``config`` once per seed (everything else held fixed).
+
+    Delegates to the process-wide execution engine — serial and uncached
+    by default, parallel and/or cached once the CLI or benchmark suite
+    has called :func:`repro.harness.parallel.configure`.
+    """
+    # Imported lazily: parallel imports this module for MultiSeedResult.
+    from repro.harness import parallel
+    return parallel.run_seeds(config, seeds)
 
 
 def run_matrix(configs: Dict[str, ScenarioConfig],
@@ -78,6 +120,5 @@ def run_matrix(configs: Dict[str, ScenarioConfig],
     Used by the protocol-comparison experiments: each protocol sees the
     identical seeds, hence identical mobility and subscriber draws.
     """
-    seed_list = list(seeds)
-    return {name: run_seeds(cfg, seed_list)
-            for name, cfg in configs.items()}
+    from repro.harness import parallel
+    return parallel.run_matrix(configs, seeds)

@@ -209,7 +209,17 @@ class ScenarioConfig:
 
 @dataclass
 class ScenarioResult:
-    """Outcome of one scenario run."""
+    """Outcome of one scenario run.
+
+    Results are picklable and round-trip clean: every metric method —
+    reliability, the frugality counters and the energy summary fields —
+    returns identical values before and after a pickle round trip, which
+    is what the parallel execution engine (worker -> parent transfer) and
+    the on-disk result cache rely on.  Pickling *detaches* the result
+    from its live simulation world (see ``MetricsCollector.__getstate__``
+    and ``EnergyAccountant.__getstate__``): the payload is measurements
+    only, a few kilobytes instead of the megabytes of world graph.
+    """
 
     config: ScenarioConfig
     collector: MetricsCollector

@@ -108,6 +108,38 @@ class MetricsCollector:
                 self._seen_receptions.add(key)
                 row.useful_receptions += 1
 
+    # -- pickling (parallel execution / result cache) ---------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle the measurements, not the world.
+
+        The collector holds the only path from a
+        :class:`~repro.harness.scenario.ScenarioResult` back into the live
+        simulation graph (medium -> nodes -> simulator -> pending timers),
+        megabytes of state that no post-run consumer needs.  Dropping the
+        medium here is what makes results cheap to ship from worker
+        processes and to store in the on-disk result cache.  The unpickled
+        collector is *detached*: every aggregate/report method works, but
+        it can no longer observe a running medium.
+        """
+        state = dict(self.__dict__)
+        state["medium"] = None
+        # defaultdicts pickle fine, but plain containers keep the payload
+        # schema independent of construction-time factories.
+        state["stats"] = dict(self.stats)
+        state["delivery_times"] = {k: dict(v) for k, v
+                                   in self.delivery_times.items()}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        stats = defaultdict(NodeStats)
+        stats.update(state["stats"])
+        self.stats = stats
+        times: Dict[EventId, Dict[int, float]] = defaultdict(dict)
+        times.update(state["delivery_times"])
+        self.delivery_times = times
+
     def _on_deliver(self, node: Node, event: Event) -> None:
         if self._frozen:
             return   # outside the measurement window (warm-up / post-run)

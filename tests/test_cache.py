@@ -1,0 +1,175 @@
+"""Cache correctness tests (repro.harness.cache).
+
+The cache key must be *complete*: any change to any ``ScenarioConfig``
+field — exercised via ``with_changes`` over every field — has to produce
+a different digest, otherwise a sweep could silently reuse results from
+the wrong cell.  Conversely an identical rerun must hit, and a corrupted
+entry must fall back to recomputation rather than crash or, worse,
+deserialize garbage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.config import FrugalConfig
+from repro.energy import EnergyConfig, PowerProfile
+from repro.harness.cache import (ResultCache, canonical, code_version_tag,
+                                 config_digest)
+from repro.harness.scenario import (Publication, RandomWaypointSpec,
+                                    ScenarioConfig, StationarySpec,
+                                    run_scenario)
+from repro.net import MediumConfig, RadioConfig, SizeModel
+
+
+def base_config(**changes) -> ScenarioConfig:
+    cfg = ScenarioConfig(
+        n_processes=6,
+        mobility=RandomWaypointSpec(width=500.0, height=500.0,
+                                    speed_min=10.0, speed_max=10.0),
+        duration=30.0, warmup=2.0, seed=0,
+        subscriber_fraction=0.8,
+        publications=(Publication(at=2.0, validity=20.0),))
+    return cfg.with_changes(**changes)
+
+
+#: One alternative value per ScenarioConfig field — each must flip the key.
+FIELD_CHANGES = {
+    "n_processes": 7,
+    "mobility": StationarySpec(width=500.0, height=500.0),
+    "duration": 31.0,
+    "warmup": 3.0,
+    "seed": 1,
+    "protocol": "simple-flooding",
+    "frugal": FrugalConfig(hb_upper_bound=2.0),
+    "flood_period": 2.0,
+    "gossip_probability": 0.5,
+    "counter_threshold": 4,
+    "radio": RadioConfig.paper_city_section(),
+    "medium": MediumConfig(frame_loss_probability=0.1),
+    "sizes": SizeModel(heartbeat_bytes=60),
+    "subscriber_fraction": 0.5,
+    "event_topic": ".paper.events.other-demo",
+    "other_topic": ".paper.unrelated",
+    "publications": (Publication(at=3.0, validity=20.0),),
+    "speed_sensor": False,
+    "energy": EnergyConfig(profile=PowerProfile.power_save(),
+                           battery_capacity_j=25.0),
+}
+
+
+class TestDigest:
+    def test_identical_configs_share_a_digest(self):
+        assert config_digest(base_config()) == config_digest(base_config())
+
+    def test_change_table_covers_every_field(self):
+        """A new ScenarioConfig field must come with a cache-key test —
+        an unkeyed field would make the cache silently wrong."""
+        field_names = {f.name for f in dataclasses.fields(ScenarioConfig)}
+        assert field_names == set(FIELD_CHANGES), \
+            "update FIELD_CHANGES when ScenarioConfig gains/loses fields"
+
+    @pytest.mark.parametrize("field", sorted(FIELD_CHANGES))
+    def test_any_field_change_misses(self, field, tmp_path):
+        original = base_config()
+        changed = original.with_changes(**{field: FIELD_CHANGES[field]})
+        assert changed != original, f"change table no-ops on {field!r}"
+        assert config_digest(changed) != config_digest(original)
+
+    def test_version_tag_rotates_the_key(self):
+        cfg = base_config()
+        assert config_digest(cfg, version="a") != \
+            config_digest(cfg, version="b")
+
+    def test_code_version_tag_is_stable_in_process(self):
+        assert code_version_tag() == code_version_tag()
+        assert len(code_version_tag()) == 16
+
+    def test_canonical_distinguishes_spec_classes(self):
+        """Two dataclasses with identical field values but different
+        types (e.g. different mobility models) must not collide."""
+        a = canonical(RandomWaypointSpec(width=1.0, height=1.0,
+                                         speed_min=0.0, speed_max=0.0))
+        b = canonical(StationarySpec(width=1.0, height=1.0))
+        assert a != b
+
+    def test_canonical_rejects_unhashable_surprises(self):
+        with pytest.raises(TypeError):
+            canonical(object())
+
+
+class TestCacheRoundTrip:
+    def test_miss_then_hit_after_identical_rerun(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = base_config()
+        assert cache.get(cfg) is None
+        result = run_scenario(cfg)
+        cache.put(result)
+        hit = cache.get(cfg)
+        assert hit is not None
+        assert hit.summary() == result.summary()
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_entry_is_keyed_to_exact_config(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = base_config()
+        cache.put(run_scenario(cfg))
+        for field, value in FIELD_CHANGES.items():
+            assert cache.get(cfg.with_changes(**{field: value})) is None, \
+                f"stale hit after changing {field!r}"
+
+    def test_corrupted_entry_recovers_by_recompute(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = base_config()
+        cache.put(run_scenario(cfg))
+        path = cache.path_for(cfg)
+        path.write_bytes(b"\x80\x04 this is not a pickle")
+        assert cache.get(cfg) is None          # corrupt -> miss
+        assert not path.exists()               # and the entry is purged
+        cache.put(run_scenario(cfg))           # recompute repopulates
+        assert cache.get(cfg) is not None
+
+    def test_truncated_entry_recovers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = base_config()
+        cache.put(run_scenario(cfg))
+        path = cache.path_for(cfg)
+        path.write_bytes(path.read_bytes()[:40])   # simulate a killed write
+        assert cache.get(cfg) is None
+        assert not path.exists()
+
+    def test_wrong_object_in_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = base_config()
+        cache.path_for(cfg).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(cfg).write_bytes(
+            pickle.dumps({"not": "a ScenarioResult"}))
+        assert cache.get(cfg) is None
+        assert not cache.path_for(cfg).exists()
+
+    def test_clear_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put(run_scenario(base_config()))
+        cache.put(run_scenario(base_config(seed=1)))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_clear_sweeps_stranded_tmp_files(self, tmp_path):
+        """A run killed inside put() leaves a mkstemp *.tmp behind;
+        clear() must collect it or a shared cache grows forever."""
+        cache = ResultCache(tmp_path)
+        cache.put(run_scenario(base_config()))
+        (tmp_path / "abandoned123.tmp").write_bytes(b"half a pickle")
+        cache.clear()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_default_dir_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        cache = ResultCache()
+        cache.put(run_scenario(base_config()))
+        assert (tmp_path / "env-cache").is_dir()

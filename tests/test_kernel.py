@@ -210,6 +210,95 @@ class TestPeriodicTask:
         assert ticks == [1.0, 2.0]
 
 
+class TestEdgeCases:
+    """Corners the parallel-engine work leans on: cancellation interacting
+    with bounded runs, live period changes, and budget exhaustion."""
+
+    def test_cancel_at_same_instant_inside_bounded_run(self, sim):
+        """A timer cancelled by an earlier same-instant event during
+        run(until=...) must not fire: the cancelled head is skipped
+        after it has already been scheduled for this very timestamp."""
+        out = []
+        victims = []
+        sim.schedule(1.0, lambda: victims[0].cancel())   # seq 0: fires first
+        victims.append(sim.schedule(1.0, out.append, "dead"))  # seq 1
+        sim.run(until=1.0)
+        assert out == []
+        assert sim.now == 1.0
+        assert not victims[0].fired
+        assert sim.events_processed == 1
+
+    def test_cancelled_timer_beyond_until_is_purged(self, sim):
+        """run(until=...) pops cancelled heads even when their time lies
+        beyond the window — the queue must not accumulate tombstones."""
+        victim = sim.schedule(5.0, lambda: None)
+        victim.cancel()
+        sim.run(until=2.0)
+        assert sim.pending == 0
+        assert sim.now == 2.0
+        assert sim.events_processed == 0
+
+    def test_cancelled_timer_keeps_bounded_run_exact(self, sim):
+        """Cancelling the only event inside the window must not stop the
+        clock short of `until`, nor fire anything on the next run."""
+        out = []
+        t = sim.schedule(1.0, out.append, "no")
+        sim.schedule(0.5, t.cancel)
+        sim.run(until=3.0)
+        assert out == []
+        sim.run(until=10.0)
+        assert out == [] and sim.now == 10.0
+
+    def test_set_period_from_inside_running_callback(self, sim):
+        """computeHBDelay adapts the heartbeat from within the beat
+        itself; the new period must govern the very next re-arm."""
+        ticks = []
+
+        def tick() -> None:
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                task.set_period(0.5)
+
+        task = PeriodicTask(sim, 2.0, tick)
+        sim.run(until=6.0)
+        assert ticks == [2.0, 4.0, 4.5, 5.0, 5.5, 6.0]
+        assert task.period == 0.5
+
+    def test_set_period_between_ticks_spares_the_armed_tick(self, sim):
+        """A period change between ticks takes effect at the *next*
+        re-arm: the already-armed tick still fires on the old schedule."""
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.schedule(2.5, task.set_period, 3.0)
+        sim.run(until=9.0)
+        assert ticks == [1.0, 2.0, 3.0, 6.0, 9.0]
+
+    def test_max_events_exhaustion_raises_cleanly(self, sim):
+        """Budget exhaustion in run_until_idle must raise, leave the
+        counter exact, and leave the kernel reusable (not wedged in the
+        'running' state)."""
+        def reschedule() -> None:
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run_until_idle(max_events=10)
+        assert sim.events_processed == 10
+        # Clean recovery: a bounded run keeps going where we left off.
+        resume_at = sim.now
+        sim.run(until=resume_at + 5.0)
+        assert sim.events_processed == 15
+        assert sim.now == resume_at + 5.0
+
+    def test_budget_equal_to_workload_still_raises(self, sim):
+        """The budget is a tripwire, not a quota: processing exactly
+        max_events raises even if the queue would have drained next."""
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda: None)
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run_until_idle(max_events=3)
+
+
 class TestDeterminism:
     def test_identical_runs_identical_trace(self):
         def trace():

@@ -1,0 +1,235 @@
+"""Determinism suite for the parallel execution engine.
+
+The engine's contract is strict: fanning a sweep across worker processes
+must change *nothing* — per-seed summaries from ``jobs=4`` are required
+to be exactly equal (``==`` on floats, not approximately) to the serial
+results, in the caller's seed order, for every scenario family including
+energy-instrumented ones.  The cache side of the contract: a rerun of an
+already-cached sweep performs zero scenario executions.
+
+One spawn pool is shared module-wide (session fixture) because spawning
+interpreters costs seconds; every test that needs parallelism reuses it.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.energy import DutyCycleConfig, EnergyConfig, PowerProfile
+from repro.harness import parallel
+from repro.harness.cache import ResultCache
+from repro.harness.experiments import frugality_comparison
+from repro.harness.parallel import EngineStats, ParallelRunner
+from repro.harness.presets import Scale
+from repro.harness.scenario import (CitySectionSpec, Publication,
+                                    RandomWaypointSpec, ScenarioConfig,
+                                    StationarySpec)
+from repro.net import RadioConfig
+
+SEEDS = [0, 1, 2, 3, 4]
+
+
+def _rwp_frugal() -> ScenarioConfig:
+    return ScenarioConfig(
+        n_processes=8,
+        mobility=RandomWaypointSpec(width=900.0, height=900.0,
+                                    speed_min=10.0, speed_max=10.0),
+        duration=40.0, warmup=4.0,
+        subscriber_fraction=0.75,
+        publications=(Publication(at=2.0, validity=30.0),))
+
+
+def _stationary_gossip() -> ScenarioConfig:
+    return ScenarioConfig(
+        n_processes=8,
+        mobility=StationarySpec(width=700.0, height=700.0),
+        duration=30.0, warmup=2.0,
+        protocol="gossip-flooding", gossip_probability=0.7,
+        subscriber_fraction=0.5,
+        publications=(Publication(at=1.0, validity=20.0),
+                      Publication(at=5.0, validity=20.0, publisher=1)))
+
+
+def _city_frugal() -> ScenarioConfig:
+    return ScenarioConfig(
+        n_processes=6,
+        mobility=CitySectionSpec(),
+        duration=30.0, warmup=5.0,
+        radio=RadioConfig.paper_city_section(),
+        publications=(Publication(at=2.0, validity=25.0),))
+
+
+def _rwp_energy() -> ScenarioConfig:
+    return _rwp_frugal().with_changes(energy=EnergyConfig(
+        profile=PowerProfile.power_save(),
+        battery_capacity_j=30.0,
+        duty_cycle=DutyCycleConfig.heartbeat_aligned(1.0, 0.5)))
+
+
+#: The determinism matrix: one config per scenario family, including an
+#: energy-instrumented one (whose summary carries the PR-1 energy fields).
+MATRIX = {
+    "rwp-frugal": _rwp_frugal,
+    "stationary-gossip": _stationary_gossip,
+    "city-frugal": _city_frugal,
+    "rwp-energy-dutycycle": _rwp_energy,
+}
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One spawn pool for the whole module (workers cost seconds)."""
+    with ParallelRunner(jobs=4) as runner:
+        yield runner
+
+
+class TestSerialParallelEquality:
+    @pytest.mark.parametrize("name", sorted(MATRIX))
+    def test_summaries_bit_identical(self, name, pool):
+        config = MATRIX[name]()
+        serial = ParallelRunner(jobs=1).run_seeds(config, SEEDS)
+        fanned = pool.run_seeds(config, SEEDS)
+        for ours, theirs in zip(serial.results, fanned.results):
+            # Exact float equality — the whole point of the engine.
+            assert ours.summary() == theirs.summary()
+            assert ours.sim_events_processed == theirs.sim_events_processed
+            assert ours.subscriber_ids == theirs.subscriber_ids
+            assert ours.per_event_reports() == theirs.per_event_reports()
+
+    def test_energy_summary_fields_survive_the_pool(self, pool):
+        multi = pool.run_seeds(_rwp_energy(), SEEDS[:2])
+        for result in multi.results:
+            summary = result.summary()
+            for key in ("joules_per_node", "joules_per_delivery",
+                        "lifetime_s", "survivor_fraction",
+                        "survivor_reliability"):
+                assert key in summary
+
+    def test_aggregates_equal_too(self, pool):
+        config = _rwp_frugal()
+        serial = ParallelRunner(jobs=1).run_seeds(config, SEEDS)
+        fanned = pool.run_seeds(config, SEEDS)
+        assert serial.summary() == fanned.summary()
+
+
+class TestOrdering:
+    def test_results_follow_caller_seed_order(self, pool):
+        seeds = [3, 0, 4, 1, 2]          # deliberately not sorted
+        multi = pool.run_seeds(_rwp_frugal(), seeds)
+        assert [r.config.seed for r in multi.results] == seeds
+
+    def test_matrix_keeps_names_and_seed_order(self, pool):
+        configs = {
+            "frugal": _rwp_frugal(),
+            "gossip": _rwp_frugal().with_changes(protocol="gossip-flooding"),
+        }
+        outcome = pool.run_matrix(configs, seeds=[2, 0, 1])
+        assert list(outcome) == ["frugal", "gossip"]
+        for multi in outcome.values():
+            assert [r.config.seed for r in multi.results] == [2, 0, 1]
+
+    def test_matrix_pairs_seeds_across_protocols(self, pool):
+        """The paired-comparison property must survive the pool: the same
+        seed gives the same subscriber draw for every protocol."""
+        configs = {
+            "frugal": _stationary_gossip().with_changes(protocol="frugal"),
+            "gossip": _stationary_gossip(),
+        }
+        outcome = pool.run_matrix(configs, seeds=[7, 8])
+        for a, b in zip(outcome["frugal"].results,
+                        outcome["gossip"].results):
+            assert a.config.seed == b.config.seed
+            assert a.subscriber_ids == b.subscriber_ids
+
+
+class TestPickleRoundTrip:
+    def test_result_detaches_and_keeps_every_metric(self):
+        original = ParallelRunner(jobs=1).run_seeds(_rwp_energy(), [0])
+        result = original.results[0]
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.summary() == result.summary()
+        assert clone.per_event_reports() == result.per_event_reports()
+        assert clone.survivor_ids() == result.survivor_ids()
+        assert clone.total_joules() == result.total_joules()
+        assert clone.config == result.config
+        # Detached: the multi-megabyte world graph must not tag along.
+        assert len(pickle.dumps(clone)) < 100_000
+
+    def test_config_round_trips(self):
+        for factory in MATRIX.values():
+            config = factory()
+            assert pickle.loads(pickle.dumps(config)) == config
+
+
+#: A miniature scale for the bench-sweep cache test below.
+NANO = Scale(
+    name="nano",
+    rwp_processes=8, rwp_area_m=1000.0, rwp_warmup=5.0,
+    city_processes=5, city_warmup=5.0, city_publisher_rotations=1,
+    seeds=2, sweep_density="coarse",
+)
+
+
+class TestCachedSweep:
+    def test_cached_rerun_executes_zero_scenarios(self, tmp_path):
+        """Acceptance criterion: rerunning a bench_fig sweep with a warm
+        cache performs no scenario executions at all."""
+        cache = ResultCache(tmp_path / "cache")
+        runner = parallel.configure(jobs=1, cache=cache)
+        try:
+            first = frugality_comparison(NANO, protocols=("frugal",),
+                                         experiment_id="fig17-20")
+            cells = runner.stats.executed
+            assert cells > 0
+            assert runner.stats.cache_hits == 0
+
+            runner.stats.reset()
+            second = frugality_comparison(NANO, protocols=("frugal",),
+                                          experiment_id="fig17-20")
+            assert runner.stats.executed == 0, \
+                "warm rerun must answer every cell from the cache"
+            assert runner.stats.cache_hits == cells
+            assert second.rows == first.rows
+        finally:
+            parallel.configure(jobs=1, cache=None)
+
+    def test_partial_cache_computes_only_missing_cells(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = _rwp_frugal()
+        warm = ParallelRunner(jobs=1, cache=cache)
+        warm.run_seeds(config, [0, 1])
+        extended = ParallelRunner(jobs=1, cache=cache)
+        multi = extended.run_seeds(config, [0, 1, 2, 3])
+        assert extended.stats.cache_hits == 2
+        assert extended.stats.executed == 2
+        assert [r.config.seed for r in multi.results] == [0, 1, 2, 3]
+
+
+class TestValidation:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=0)
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=1).run_seeds(_rwp_frugal(), [])
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=1).run_matrix({"a": _rwp_frugal()}, [])
+
+    def test_engine_stats_totals(self):
+        stats = EngineStats(executed=3, cache_hits=4)
+        assert stats.total == 7
+        stats.reset()
+        assert stats.total == 0
+
+    def test_runner_module_still_delegates(self):
+        """The historical entry point (repro.harness.runner.run_seeds)
+        must route through the engine — experiments depend on it."""
+        from repro.harness.runner import run_seeds as legacy_run_seeds
+        runner = parallel.get_default_runner()
+        runner.stats.reset()
+        multi = legacy_run_seeds(_stationary_gossip(), [0, 1])
+        assert len(multi.results) == 2
+        assert runner.stats.executed == 2

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.harness.runner import (Aggregate, MultiSeedResult, aggregate,
@@ -34,6 +36,68 @@ class TestAggregate:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             aggregate([])
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_rejected_with_clear_error(self, bad):
+        """One inf seed (e.g. joules_per_delivery with zero deliveries)
+        must fail loudly instead of poisoning the 30-seed mean."""
+        with pytest.raises(ValueError, match="non-finite"):
+            aggregate([1.0, bad, 3.0])
+
+    def test_non_finite_rejected_even_alone(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            aggregate([float("inf")])
+
+
+class _StubResult:
+    """Just enough ScenarioResult surface for MultiSeedResult.summary()."""
+
+    def __init__(self, summary):
+        self._summary = summary
+
+    def summary(self):
+        return dict(self._summary)
+
+
+class TestSummaryInfGuard:
+    def test_by_design_inf_aggregates_to_inf_mean(self):
+        """joules_per_delivery is inf for a zero-delivery seed (PR 1's
+        convention); one such seed must yield an inf-mean row, not abort
+        the whole sweep."""
+        multi = MultiSeedResult(results=[
+            _StubResult({"reliability": 0.5, "joules_per_delivery": 2.0}),
+            _StubResult({"reliability": 0.0,
+                         "joules_per_delivery": float("inf")}),
+        ])
+        summary = multi.summary()
+        assert summary["reliability"].mean == 0.25     # untouched metric
+        jpd = summary["joules_per_delivery"]
+        assert jpd.mean == float("inf") and jpd.n == 2
+        assert math.isnan(jpd.std)
+
+    def test_nan_still_fails_loudly(self):
+        multi = MultiSeedResult(results=[
+            _StubResult({"reliability": float("nan")}),
+            _StubResult({"reliability": 1.0}),
+        ])
+        with pytest.raises(ValueError, match="non-finite"):
+            multi.summary()
+
+
+class TestAggregateFormatting:
+    """Pin __str__ exactly: reports and EXPERIMENTS.md diffs depend on it."""
+
+    def test_small_values(self):
+        assert str(aggregate([1.0, 2.0, 3.0])) == "2 ± 0.82 (n=3)"
+
+    def test_four_significant_digits_mean_two_std(self):
+        agg = Aggregate(mean=0.123456, std=0.0123, n=30)
+        assert str(agg) == "0.1235 ± 0.012 (n=30)"
+
+    def test_large_mean_switches_to_scientific(self):
+        agg = Aggregate(mean=12345.678, std=0.0, n=1)
+        assert str(agg) == "1.235e+04 ± 0 (n=1)"
 
 
 class TestRunSeeds:
