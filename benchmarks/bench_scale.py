@@ -1,0 +1,131 @@
+"""bench_scale — the spatially-indexed medium at large populations.
+
+Sweeps N ∈ {100, 300, 500, 1000} random-waypoint processes at the
+paper's density (6 processes/km², 442 m radio range) and times the same
+scenario on the grid-backed medium vs the flat O(N) full scan, asserting
+
+* **exact equality**: per-seed summaries from the two media are equal
+  with ``==`` on floats — on this sweep *and* on representatives of the
+  fig11 (random waypoint), fig14 (city section) and energy scenario
+  families (the flat leg of the equality checks is capped at N ≤ 300 to
+  keep the suite's wall-clock sane; the timing sweep covers the rest);
+* **speedup**: the grid resolves receivers/collisions by range query
+  instead of scanning every node per frame, which must be worth ≥ 3× at
+  N = 500 (it measures ~8× here; the gap widens with N).
+
+Scale knobs: ``REPRO_SCALE=paper`` lengthens the measurement window;
+``REPRO_BENCH_SCALE_MAX_N`` caps the sweep (e.g. 300 in smoke CI).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from typing import Dict, List
+
+from common import publish_text, scale
+from repro.harness.experiments import (city_scenario, energy_scenario,
+                                       rwp_scenario)
+from repro.harness.scenario import (Publication, RandomWaypointSpec,
+                                    ScenarioConfig, run_scenario)
+from repro.net import RadioConfig
+
+#: Paper density: 150 processes over 25 km².
+DENSITY_PER_KM2 = 6.0
+
+POPULATIONS = [100, 300, 500, 1000]
+
+#: Above this N the flat medium is timed but no longer also re-run for
+#: the (redundant) equality assertion — O(N²) makes it the whole bill.
+EQUALITY_MAX_N = 300
+
+
+def population_scenario(n: int, duration: float, seed: int = 0
+                        ) -> ScenarioConfig:
+    """An N-process random-waypoint trial at constant paper density."""
+    side = math.sqrt(n / DENSITY_PER_KM2) * 1000.0
+    return ScenarioConfig(
+        n_processes=n,
+        mobility=RandomWaypointSpec(width=side, height=side,
+                                    speed_min=10.0, speed_max=10.0),
+        duration=duration, warmup=10.0, seed=seed,
+        radio=RadioConfig.paper_random_waypoint(),
+        subscriber_fraction=0.8,
+        publications=(Publication(at=2.0, validity=duration - 4.0),))
+
+
+def _timed(config: ScenarioConfig) -> Dict[str, object]:
+    started = time.perf_counter()
+    result = run_scenario(config)
+    return {"wallclock": time.perf_counter() - started,
+            "summary": result.summary()}
+
+
+def test_scaling_sweep(benchmark):
+    s = scale()
+    duration = 60.0 if s.name == "paper" else 25.0
+    max_n = int(os.environ.get("REPRO_BENCH_SCALE_MAX_N", POPULATIONS[-1]))
+    populations = [n for n in POPULATIONS if n <= max_n]
+
+    rows: List[Dict[str, object]] = []
+
+    def sweep():
+        rows.clear()
+        for n in populations:
+            cfg = population_scenario(n, duration)
+            grid = _timed(cfg)
+            flat = _timed(cfg.with_flat_medium())
+            if n <= EQUALITY_MAX_N:
+                assert grid["summary"] == flat["summary"], \
+                    f"grid and flat medium summaries diverged at N={n}"
+            rows.append({"n": n, "grid_s": grid["wallclock"],
+                         "flat_s": flat["wallclock"],
+                         "speedup": flat["wallclock"] / grid["wallclock"]})
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"bench_scale — grid vs flat medium, {duration:.0f}s window, "
+             f"density {DENSITY_PER_KM2:.0f}/km²",
+             f"{'N':>6} {'grid [s]':>10} {'flat [s]':>10} {'speedup':>9}"]
+    for row in rows:
+        lines.append(f"{row['n']:>6} {row['grid_s']:>10.2f} "
+                     f"{row['flat_s']:>10.2f} {row['speedup']:>8.1f}x")
+    publish_text("\n".join(lines))
+
+    by_n = {row["n"]: row for row in rows}
+    if 500 in by_n:
+        assert by_n[500]["speedup"] >= 3.0, \
+            f"spatial index must be ≥3x at N=500, got " \
+            f"{by_n[500]['speedup']:.1f}x"
+    for row in rows:
+        if row["n"] >= 300:
+            assert row["speedup"] > 1.0
+
+
+def test_equality_on_figure_families(benchmark):
+    """Grid == flat, exactly, on the fig11/fig14/energy families."""
+    s = scale()
+    families = {
+        "fig11": rwp_scenario(s, 10.0, 10.0, validity=60.0, interest=0.8),
+        "fig14": city_scenario(s, validity=100.0, interest=0.6),
+        "energy": energy_scenario(s, "neighbor-flooding", battery_j=28.0,
+                                  duration=60.0),
+    }
+    seeds = s.seed_list()[:2]
+
+    def compare_all():
+        mismatches = []
+        for name, family_cfg in sorted(families.items()):
+            for seed in seeds:
+                cfg = family_cfg.with_changes(seed=seed)
+                if run_scenario(cfg).summary() != \
+                        run_scenario(cfg.with_flat_medium()).summary():
+                    mismatches.append((name, seed))
+        return mismatches
+
+    mismatches = benchmark.pedantic(compare_all, rounds=1, iterations=1)
+    assert mismatches == []
+    publish_text("bench_scale equality: grid == flat summaries on "
+                 f"{sorted(families)} x seeds {seeds}")

@@ -129,6 +129,7 @@ class ResultCache:
         self.misses = 0
 
     def path_for(self, config: ScenarioConfig) -> pathlib.Path:
+        """On-disk entry path for ``config`` under the current code version."""
         return self.root / f"{config_digest(config, self.version)}.pkl"
 
     def get(self, config: ScenarioConfig) -> Optional[ScenarioResult]:

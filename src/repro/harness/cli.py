@@ -35,6 +35,7 @@ from repro.harness.reporting import (format_engine_stats, format_experiment,
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for --help tests and docs)."""
     parser = argparse.ArgumentParser(
         prog="repro.harness.cli",
         description="Regenerate the paper's figures and ablations.")
@@ -81,6 +82,8 @@ def configure_engine(jobs: Optional[int], no_cache: bool,
 
 def run_one(experiment_id: str, scale_name: Optional[str],
             csv_path: Optional[str], seed: Optional[int] = None) -> None:
+    """Run one experiment id at ``scale_name``, print the table and
+    optionally write ``csv_path``; ``seed`` re-bases the seed list."""
     scale = get_scale(scale_name)
     if seed is not None:
         scale = scale.with_seed_base(seed)
@@ -97,6 +100,7 @@ def run_one(experiment_id: str, scale_name: Optional[str],
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         print("available experiments:")

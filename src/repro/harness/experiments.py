@@ -37,6 +37,7 @@ class ExperimentResult:
     rows: List[Dict[str, float]] = field(default_factory=list)
 
     def column(self, name: str) -> List[float]:
+        """All values of one named column, in row order."""
         return [row[name] for row in self.rows]
 
     def filter(self, **criteria) -> List[Dict[str, float]]:

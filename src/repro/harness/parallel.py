@@ -81,9 +81,11 @@ class EngineStats:
 
     @property
     def total(self) -> int:
+        """All scenario runs answered (executed + cache hits)."""
         return self.executed + self.cache_hits
 
     def reset(self) -> None:
+        """Zero the counters (start of a new reporting window)."""
         self.executed = 0
         self.cache_hits = 0
 
@@ -221,6 +223,7 @@ _default_runner = ParallelRunner(jobs=1, cache=None)
 
 
 def get_default_runner() -> ParallelRunner:
+    """The process-wide engine :func:`run_seeds`/:func:`run_matrix` use."""
     return _default_runner
 
 

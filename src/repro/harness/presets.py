@@ -40,10 +40,13 @@ class Scale:
     seed_base: int = 0
 
     def seed_list(self, base: Optional[int] = None) -> List[int]:
+        """The deterministic averaging seeds, starting at ``base``
+        (default: this scale's ``seed_base``)."""
         start = self.seed_base if base is None else base
         return [start + i for i in range(self.seeds)]
 
     def with_seed_base(self, base: int) -> "Scale":
+        """A copy of this scale whose seed list starts at ``base``."""
         return replace(self, seed_base=base)
 
     def pick(self, full: Sequence, coarse: Sequence) -> List:

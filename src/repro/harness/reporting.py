@@ -38,11 +38,11 @@ def format_table(rows: Sequence[Dict], columns: Optional[List[str]] = None,
                 for row in rows]
     widths = [max(len(col), *(len(r[i]) for r in rendered))
               for i, col in enumerate(columns)]
-    def line(cells: Sequence[str]) -> str:
+    def _line(cells: Sequence[str]) -> str:
         return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
-    header = line(columns)
+    header = _line(columns)
     sep = "-+-".join("-" * w for w in widths)
-    return "\n".join([header, sep] + [line(r) for r in rendered])
+    return "\n".join([header, sep] + [_line(r) for r in rendered])
 
 
 def format_experiment(result: ExperimentResult,

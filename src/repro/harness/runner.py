@@ -67,6 +67,7 @@ class MultiSeedResult:
     results: List[ScenarioResult]
 
     def metric(self, fn: Callable[[ScenarioResult], float]) -> Aggregate:
+        """Aggregate ``fn(result)`` across the seeds (mean/std/min/max)."""
         return aggregate([fn(r) for r in self.results])
 
     def summary(self) -> Dict[str, Aggregate]:
@@ -97,6 +98,7 @@ class MultiSeedResult:
 
     @property
     def reliability(self) -> Aggregate:
+        """Reliability aggregated across the seeds."""
         return self.metric(lambda r: r.reliability())
 
 

@@ -70,6 +70,7 @@ class RandomWaypointSpec(MobilitySpec):
     pause_time: float = 1.0
 
     def build(self, index: int) -> MobilityModel:
+        """Random-waypoint (or stationary, at 0 m/s) model for one process."""
         if self.speed_max <= 0:
             return Stationary(width=self.width, height=self.height)
         return RandomWaypoint(self.width, self.height,
@@ -87,11 +88,13 @@ class CitySectionSpec(MobilitySpec):
     stop_max: float = 15.0
 
     def build(self, index: int) -> MobilityModel:
+        """Street-constrained city-section model for one process."""
         return CitySection(self.street_map(),
                            stop_probability=self.stop_probability,
                            stop_min=self.stop_min, stop_max=self.stop_max)
 
     def street_map(self) -> StreetMap:
+        """The (cached) synthetic campus street map for ``map_seed``."""
         return _campus_map_cached(self.map_seed)
 
 
@@ -114,6 +117,7 @@ class StationarySpec(MobilitySpec):
     height: float
 
     def build(self, index: int) -> MobilityModel:
+        """Fixed-random-position model for one process."""
         return Stationary(width=self.width, height=self.height)
 
 
@@ -186,7 +190,18 @@ class ScenarioConfig:
                     f"measurement window [0, {self.duration})")
 
     def with_changes(self, **changes) -> "ScenarioConfig":
+        """A copy of this config with the given fields replaced."""
         return replace(self, **changes)
+
+    def with_flat_medium(self) -> "ScenarioConfig":
+        """The paired config running the O(N) full-scan wireless medium.
+
+        Identical in every respect except ``medium.spatial_index``; used
+        by the equality tests and ``benchmarks/bench_scale.py`` to prove
+        the grid-backed medium reproduces the flat scan bit for bit.
+        """
+        return self.with_changes(
+            medium=replace(self.medium, spatial_index=False))
 
     # -- convenience presets --------------------------------------------------
 
@@ -233,6 +248,7 @@ class ScenarioResult:
     # -- reliability -------------------------------------------------------------
 
     def per_event_reports(self) -> List[ReliabilityReport]:
+        """One in-time delivery report per published event."""
         return [event_reliability(self.collector, event, self.subscriber_ids)
                 for event in self.published_events]
 
@@ -243,23 +259,29 @@ class ScenarioResult:
     # -- frugality (per-process, over the measurement window) ----------------------
 
     def bandwidth_per_process_bytes(self) -> float:
+        """Mean bytes put on the air per process (measurement window)."""
         return self.collector.bandwidth_per_process_bytes()
 
     def events_sent_per_process(self) -> float:
+        """Mean events transmitted per process (measurement window)."""
         return self.collector.events_sent_per_process()
 
     def duplicates_per_process(self) -> float:
+        """Mean duplicate receptions per process (measurement window)."""
         return self.collector.duplicates_per_process()
 
     def parasites_per_process(self) -> float:
+        """Mean parasite (uninterested-topic) receptions per process."""
         return self.collector.parasites_per_process()
 
     # -- energy (only when the scenario is energy-instrumented) --------------------
 
     def total_joules(self) -> float:
+        """Network-wide energy spent, joules (0 when un-instrumented)."""
         return 0.0 if self.energy is None else self.energy.total_joules()
 
     def joules_per_node(self) -> float:
+        """Mean energy per node, joules (0 when un-instrumented)."""
         return 0.0 if self.energy is None else self.energy.joules_per_node()
 
     def joules_per_delivery(self) -> float:
@@ -282,11 +304,13 @@ class ScenarioResult:
         return self.energy.network_lifetime_s(end) - self.config.warmup
 
     def survivor_ids(self) -> List[int]:
+        """Ids of nodes whose batteries lasted the whole window."""
         if self.energy is None:
             return [n for n in self.subscriber_ids + self.non_subscriber_ids]
         return self.energy.survivor_ids()
 
     def survivor_fraction(self) -> float:
+        """Fraction of the population still powered at window end."""
         if self.energy is None:
             return 1.0
         return len(self.energy.survivor_ids()) / self.config.n_processes
@@ -441,7 +465,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     published: List[Event] = []
     factories: Dict[int, EventFactory] = {}
 
-    def do_publish(publisher_id: int, pub: Publication) -> None:
+    def _do_publish(publisher_id: int, pub: Publication) -> None:
         factory = factories.setdefault(publisher_id,
                                        EventFactory(publisher_id))
         event = factory.create(pub.topic or config.event_topic,
@@ -454,7 +478,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     for pub in config.publications:
         idx = pub.publisher if pub.publisher is not None else 0
         publisher_id = subscriber_ids[idx % len(subscriber_ids)]
-        sim.call_at(config.warmup + pub.at, do_publish, publisher_id, pub)
+        sim.call_at(config.warmup + pub.at, _do_publish, publisher_id, pub)
 
     sim.run(until=config.warmup + config.duration)
 

@@ -14,6 +14,11 @@ Processes move only along the streets of a :class:`~repro.mobility.maps.StreetMa
   ("it may happen that they stop for a while — red light, parking etc."),
 * at the destination it pauses for U(stop_min, stop_max) and then draws a
   new destination.
+
+Spatial indexing: street segments on the campus map are short (one
+block, ~150-200 m), so the leg-boundary anchors pushed at every
+intersection already keep the medium's grid nearly exact; mid-leg
+re-anchors only trigger on blocks longer than the configured slack.
 """
 
 from __future__ import annotations

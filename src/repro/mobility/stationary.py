@@ -13,6 +13,11 @@ class Stationary(MobilityModel):
     ``width x height`` is drawn at start time, which lets stationary
     scenarios share the placement distribution of
     :class:`~repro.mobility.random_waypoint.RandomWaypoint`.
+
+    Spatial indexing: a stationary process emits exactly one position
+    anchor (at start) and never schedules a mid-leg re-anchor, so a
+    1000-node stationary population costs the medium's grid nothing
+    after setup.
     """
 
     def __init__(self, position: Vec2 | None = None,

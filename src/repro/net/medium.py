@@ -21,17 +21,47 @@ exactly the phenomena the paper's results depend on:
 Positions are sampled from each node's mobility model at transmission
 start; at pedestrian/vehicular speeds and millisecond airtimes the
 displacement within a frame is negligible.
+
+Spatial indexing
+----------------
+With ``MediumConfig.spatial_index`` on (the default) the medium resolves
+"who can hear this frame?" through a :class:`~repro.sim.space.SpatialGrid`
+instead of scanning every registered node:
+
+* each node's mobility model *pushes* position anchors into the grid
+  (``MobilityModel.on_move``), re-anchoring at leg boundaries and every
+  ``anchor slack`` metres along a leg, so an anchor is never more than the
+  slack distance away from the node's true position;
+* receiver resolution queries the grid with ``range + slack`` and then
+  re-filters the candidates against their *exact* interpolated positions,
+  so the result set — and therefore every delivery, collision and CSMA
+  back-off draw — is bit-identical to the O(N) full scan;
+* candidate iteration is in deterministic ascending-id order
+  (:meth:`SpatialGrid.query_radius` sorts), the same order the full scan
+  uses, so event sequences match exactly;
+* recent transmissions live in a second grid (:class:`_TransmissionIndex`)
+  so carrier sense and collision checks only examine frames whose sender
+  was geometrically close enough to matter.
+
+``spatial_index=False`` keeps the flat O(N) scan.  Both modes iterate
+receivers in ascending-id order — the flat scan historically used dict
+insertion order, which only differs after a mid-run re-registration
+(``Node.repower``); sharing the sorted order is what makes the two modes
+produce exactly equal results in every lifecycle
+(``tests/test_spatial_medium.py`` and ``benchmarks/bench_scale.py``
+assert float equality of per-seed summaries).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.net.messages import Message, SizeModel
 from repro.net.radio import RadioConfig
 from repro.sim.kernel import Simulator
-from repro.sim.space import Vec2
+from repro.sim.space import SpatialGrid, Vec2
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Node
@@ -39,7 +69,35 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass(frozen=True)
 class MediumConfig:
-    """Medium/MAC behaviour knobs."""
+    """Medium/MAC behaviour knobs.
+
+    Attributes
+    ----------
+    csma_enabled:
+        Whether senders carrier-sense and back off before transmitting.
+    max_csma_retries:
+        Back-off attempts before the frame is sent regardless (802.11
+        eventually seizes a busy channel).
+    csma_backoff_min_s / csma_backoff_max_s:
+        Uniform back-off window bounds, seconds.
+    frame_loss_probability:
+        Per-reception uniform loss probability in [0, 1] (fading hook).
+    model_collisions:
+        Whether overlapping audible frames corrupt each other.
+    spatial_index:
+        Resolve receivers/collisions through the spatial grid (default).
+        ``False`` falls back to the flat O(N) scan; results are exactly
+        equal either way.
+    anchor_slack_m:
+        Maximum distance (metres) a node's true position may drift from
+        its indexed anchor before the mobility model re-anchors it.
+        ``None`` derives ``communication_range / 8``.  Smaller values mean
+        tighter range queries but more re-anchor events.
+    history_horizon_s:
+        Seconds a finished transmission stays available for collision
+        checks.  Must exceed the longest frame airtime (milliseconds);
+        the default of 1 s is three orders of magnitude above it.
+    """
 
     csma_enabled: bool = True
     max_csma_retries: int = 6
@@ -47,6 +105,9 @@ class MediumConfig:
     csma_backoff_max_s: float = 4e-3
     frame_loss_probability: float = 0.0
     model_collisions: bool = True
+    spatial_index: bool = True
+    anchor_slack_m: Optional[float] = None
+    history_horizon_s: float = 1.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.frame_loss_probability <= 1.0:
@@ -54,6 +115,10 @@ class MediumConfig:
         if self.csma_backoff_min_s < 0 or \
                 self.csma_backoff_max_s < self.csma_backoff_min_s:
             raise ValueError("need 0 <= backoff_min <= backoff_max")
+        if self.anchor_slack_m is not None and self.anchor_slack_m <= 0:
+            raise ValueError("anchor_slack_m must be positive")
+        if self.history_horizon_s <= 0:
+            raise ValueError("history_horizon_s must be positive")
 
 
 @dataclass
@@ -68,14 +133,110 @@ class Transmission:
     message: Message
 
     def overlaps(self, other: "Transmission") -> bool:
+        """True when the two frames were on the air at the same time."""
         return self.start < other.end and other.start < self.end
 
     def audible_at(self, pos: Vec2) -> bool:
+        """True when ``pos`` lies within this frame's communication range."""
         return self.sender_pos.distance_to(pos) <= self.range_m
 
 
+class _TransmissionIndex:
+    """Range-pruned store of recent transmissions.
+
+    Replaces the medium's flat ``_active``/``_history`` lists: frames are
+    indexed by their (immutable) sender position in a
+    :class:`SpatialGrid`, so carrier sense and collision resolution only
+    examine transmissions whose sender was close enough to be audible,
+    instead of every frame of the last second.  Entries older than the
+    horizon are pruned on insertion, oldest first.
+
+    A per-sender side table serves the half-duplex check ("was the
+    receiver itself transmitting?"), which the flat scan resolves by
+    sender id rather than by geometry and must therefore never depend on
+    a range query.
+    """
+
+    def __init__(self, cell_size: float, horizon_s: float):
+        self._grid = SpatialGrid(cell_size)
+        self._horizon_s = horizon_s
+        self._txs: Dict[int, Transmission] = {}          # insertion-ordered
+        self._by_sender: Dict[int, Dict[int, Transmission]] = {}
+        self._ids = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._txs)
+
+    def add(self, tx: Transmission, now: float) -> None:
+        """Insert a new frame and prune everything beyond the horizon."""
+        tx_id = next(self._ids)
+        self._txs[tx_id] = tx
+        self._grid.insert(tx_id, tx.sender_pos)
+        self._by_sender.setdefault(tx.sender, {})[tx_id] = tx
+        self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self._horizon_s
+        while self._txs:
+            tx_id = next(iter(self._txs))
+            tx = self._txs[tx_id]
+            if tx.end >= horizon:
+                break
+            del self._txs[tx_id]
+            self._grid.remove(tx_id)
+            per_sender = self._by_sender.get(tx.sender)
+            if per_sender is not None:
+                per_sender.pop(tx_id, None)
+                if not per_sender:
+                    del self._by_sender[tx.sender]
+
+    def channel_busy(self, pos: Vec2, now: float, query_radius: float) -> bool:
+        """Any transmission still on the air and audible at ``pos``?"""
+        for tx_id in self._grid.query_radius(pos, query_radius):
+            tx = self._txs[tx_id]
+            if tx.end > now and tx.audible_at(pos):
+                return True
+        return False
+
+    def corrupts(self, tx: Transmission, receiver_id: int, rx_pos: Vec2,
+                 query_radius: float) -> bool:
+        """Did any other frame corrupt ``tx`` at this receiver?
+
+        Same predicate as the flat history scan: another frame overlapping
+        ``tx`` in time that was either sent by the receiver itself
+        (half-duplex) or audible at the receiver's position.
+        """
+        own = self._by_sender.get(receiver_id)
+        if own:
+            for other in own.values():
+                if other is not tx and other.overlaps(tx):
+                    return True
+        for tx_id in self._grid.query_radius(rx_pos, query_radius):
+            other = self._txs[tx_id]
+            if other is tx or not other.overlaps(tx):
+                continue
+            if other.audible_at(rx_pos):
+                return True
+        return False
+
+
 class WirelessMedium:
-    """Broadcast medium shared by all nodes of a simulation."""
+    """Broadcast medium shared by all nodes of a simulation.
+
+    Parameters
+    ----------
+    sim:
+        The event kernel everything is scheduled on.
+    radio:
+        Physical-layer parameters; ``communication_range_m()`` sizes both
+        the audible radius and the spatial-index cells.
+    config:
+        MAC/indexing behaviour knobs (defaults to :class:`MediumConfig`).
+    sizes:
+        Wire-size model used to derive frame airtimes.
+    rng:
+        Dedicated random stream for CSMA back-off and uniform loss draws.
+    """
 
     def __init__(self, sim: Simulator, radio: RadioConfig,
                  config: MediumConfig | None = None,
@@ -87,8 +248,24 @@ class WirelessMedium:
         self.sizes = sizes or SizeModel()
         self._rng = rng
         self._nodes: Dict[int, "Node"] = {}
-        self._active: List[Transmission] = []
-        self._history: List[Transmission] = []   # recent, for collision checks
+        self._active: List[Transmission] = []    # flat mode only
+        self._history: List[Transmission] = []   # flat mode only
+        # Spatial indexing: node anchors + recent transmissions.  Cell
+        # size equals the inflated query radius, so every range query
+        # touches exactly a 3x3 block of cells.
+        range_m = radio.communication_range_m()
+        slack = self.config.anchor_slack_m
+        self._slack_m = slack if slack is not None else range_m / 8.0
+        self._query_radius_m = range_m + self._slack_m
+        if self.config.spatial_index:
+            self._grid: Optional[SpatialGrid] = \
+                SpatialGrid(self._query_radius_m)
+            self._tx_index: Optional[_TransmissionIndex] = \
+                _TransmissionIndex(self._query_radius_m,
+                                   self.config.history_horizon_s)
+        else:
+            self._grid = None
+            self._tx_index = None
         # Observability hooks (metrics collector subscribes to these).
         self.on_transmit: Optional[Callable[[int, Message, int], None]] = None
         self.on_receive: Optional[Callable[[int, Message], None]] = None
@@ -106,15 +283,58 @@ class WirelessMedium:
     # -- membership ---------------------------------------------------------------
 
     def register(self, node: "Node") -> None:
+        """Add a node to the medium (and, when possible, to the grid).
+
+        A node whose position is already resolvable — a test stub, or a
+        repowered node whose mobility model is running — is indexed
+        immediately; a node registered before its mobility model started
+        is indexed by the anchor its model pushes at start time.
+        """
         if node.id in self._nodes:
             raise ValueError(f"duplicate node id {node.id}")
         self._nodes[node.id] = node
+        if self._grid is None:
+            return
+        mobility = getattr(node, "mobility", None)
+        if mobility is None or mobility.started:
+            try:
+                pos = node.position()
+            except RuntimeError:
+                return
+            self._grid.insert(node.id, pos)
 
     def unregister(self, node_id: int) -> None:
+        """Remove a node from the medium and from the spatial index.
+
+        A drained (or otherwise departed) node stops being a potential
+        receiver *and* disappears from the grid — its mobility model may
+        keep pushing anchors (the device is still on a moving vehicle),
+        which :meth:`note_position` discards for unknown ids.
+        """
         self._nodes.pop(node_id, None)
+        if self._grid is not None:
+            self._grid.remove(node_id)
+
+    def note_position(self, node_id: int, pos: Vec2) -> None:
+        """Record a position anchor pushed by a node's mobility model.
+
+        Anchors for unregistered ids (crashed-and-drained devices still
+        riding a vehicle) are dropped.  In flat-scan mode this is a no-op.
+        """
+        if self._grid is not None and node_id in self._nodes:
+            self._grid.insert(node_id, pos)
+
+    @property
+    def position_slack_m(self) -> Optional[float]:
+        """Mid-leg re-anchor distance nodes must honour (metres), or
+        ``None`` when the flat scan is active and no pushes are needed."""
+        if self._grid is None:
+            return None
+        return self._slack_m
 
     @property
     def nodes(self) -> Dict[int, "Node"]:
+        """Registered nodes by id (insertion-ordered)."""
         return self._nodes
 
     # -- sending --------------------------------------------------------------------
@@ -153,6 +373,9 @@ class WirelessMedium:
         in-flight frame, which is how a half-duplex MAC serialises a
         node's back-to-back sends instead of corrupting both."""
         now = self.sim.now
+        if self._tx_index is not None:
+            return self._tx_index.channel_busy(pos, now,
+                                               self._query_radius_m)
         self._prune_active(now)
         return any(t.audible_at(pos) for t in self._active)
 
@@ -167,10 +390,13 @@ class WirelessMedium:
         tx = Transmission(sender=sender.id, sender_pos=pos,
                           range_m=self.radio.communication_range_m(),
                           start=now, end=now + duration, message=message)
-        self._prune_active(now)
-        self._active.append(tx)
-        self._history.append(tx)
-        self._trim_history(now)
+        if self._tx_index is not None:
+            self._tx_index.add(tx, now)
+        else:
+            self._prune_active(now)
+            self._active.append(tx)
+            self._history.append(tx)
+            self._trim_history(now)
         self.frames_sent += 1
         if self.on_transmit is not None:
             self.on_transmit(sender.id, message, size)
@@ -178,9 +404,9 @@ class WirelessMedium:
             self.on_tx_window(sender.id, duration)
         # Snapshot receivers at transmission start.  A sleeping radio is
         # deaf *and* free: it neither receives the frame nor pays the RX
-        # energy for it.  Iterate a copy: charging an RX window can
+        # energy for it.  Iterate a snapshot: charging an RX window can
         # deplete the receiver's battery and unregister it mid-loop.
-        for node in list(self._nodes.values()):
+        for node in self._receiver_candidates(sender.id, pos):
             if node.id == sender.id or not node.listening:
                 continue
             rx_pos = node.position()
@@ -190,9 +416,35 @@ class WirelessMedium:
                 self.sim.schedule(duration, self._deliver, tx, node.id,
                                   rx_pos)
 
+    def _receiver_candidates(self, sender_id: int,
+                             pos: Vec2) -> List["Node"]:
+        """Snapshot of potential receivers in ascending-id order.
+
+        Grid mode prunes to nodes whose last anchor lies within
+        ``range + slack`` of the sender — a superset of the true audible
+        set, since an anchor is never staler than the slack distance.
+        The caller re-filters against exact positions, so both modes
+        resolve the identical receiver set in the identical order.
+        """
+        if self._grid is not None:
+            ids = self._grid.query_radius(pos, self._query_radius_m,
+                                          exclude=sender_id)
+            return [self._nodes[i] for i in ids if i in self._nodes]
+        return [node for _, node in sorted(self._nodes.items())]
+
     def _trim_history(self, now: float) -> None:
         # Keep only transmissions that can still collide with a live one.
-        horizon = now - 1.0
+        # Stale frames are dropped from the front on every transmit (a
+        # long-lived quiet network must not pin its whole traffic
+        # history); the length trigger bounds pathological single-instant
+        # bursts.
+        horizon = now - self.config.history_horizon_s
+        head = 0
+        while head < len(self._history) and \
+                self._history[head].end < horizon:
+            head += 1
+        if head:
+            del self._history[:head]
         if len(self._history) > 256:
             self._history = [t for t in self._history if t.end >= horizon]
 
@@ -225,6 +477,9 @@ class WirelessMedium:
                    rx_pos: Vec2) -> bool:
         """A frame is corrupted when another audible frame overlapped it,
         or when the receiver was transmitting itself (half-duplex)."""
+        if self._tx_index is not None:
+            return self._tx_index.corrupts(tx, receiver_id, rx_pos,
+                                           self._query_radius_m)
         for other in self._history:
             if other is tx:
                 continue

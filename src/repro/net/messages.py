@@ -38,13 +38,17 @@ class SizeModel:
     header_bytes: int = 8
 
     def heartbeat(self) -> int:
+        """Wire size of one heartbeat, bytes (flat, paper: 50)."""
         return self.heartbeat_bytes
 
     def event_id_list(self, n_ids: int) -> int:
+        """Wire size of an ``n_ids``-entry identifier list, bytes."""
         return self.header_bytes + n_ids * self.event_id_bytes
 
     def event_batch(self, payload_bytes_total: int, n_events: int,
                     n_neighbor_ids: int) -> int:
+        """Wire size of an event batch, bytes: header + payloads +
+        per-event ids + the interested-neighbour id list."""
         return (self.header_bytes
                 + payload_bytes_total
                 + n_events * self.event_id_bytes
@@ -57,10 +61,12 @@ class Message:
     sender: int
 
     def size_bytes(self, sizes: SizeModel) -> int:
+        """Bytes this message occupies on the air under ``sizes``."""
         raise NotImplementedError
 
     @property
     def kind(self) -> str:
+        """Human-readable message kind (the class name)."""
         return type(self).__name__
 
 
@@ -73,6 +79,7 @@ class Heartbeat(Message):
     speed: float | None = None
 
     def size_bytes(self, sizes: SizeModel) -> int:
+        """Flat heartbeat cost from the size model, bytes."""
         return sizes.heartbeat()
 
 
@@ -84,6 +91,7 @@ class EventIdList(Message):
     event_ids: Tuple[EventId, ...]
 
     def size_bytes(self, sizes: SizeModel) -> int:
+        """Header plus 16 bytes per carried event id."""
         return sizes.event_id_list(len(self.event_ids))
 
 
@@ -96,6 +104,7 @@ class EventBatch(Message):
     neighbor_ids: Tuple[int, ...] = ()
 
     def size_bytes(self, sizes: SizeModel) -> int:
+        """Header, event payloads, event ids and neighbour ids, bytes."""
         payload = sum(e.payload_bytes for e in self.events)
         return sizes.event_batch(payload, len(self.events),
                                  len(self.neighbor_ids))

@@ -47,6 +47,19 @@ class Node:
         self.on_radio_state: Optional[Callable[["Node", str], None]] = None
         protocol.attach(self)
         medium.register(self)
+        # Spatial-index wiring: the mobility model pushes position anchors
+        # into the medium's grid (at leg boundaries and every slack-metres
+        # of travel) instead of the medium polling position() per frame.
+        # A flat-scan medium advertises no slack and gets no pushes.
+        slack = medium.position_slack_m
+        if slack is not None:
+            mobility.anchor_interval_m = slack
+            mobility.on_move = self._announce_position
+            # A model started before this wiring is mid-leg with no
+            # re-anchor timer armed; resync so its anchor stays
+            # slack-bounded from here on.
+            if mobility.started:
+                mobility.refresh_anchor()
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -99,6 +112,12 @@ class Node:
         self.depleted = True
         self.asleep = False
         self.medium.unregister(self.id)
+        # Stop the anchor-push chain: the medium would discard every
+        # push for this id anyway, so the re-anchor timers a still-moving
+        # dead device keeps arming would be pure kernel churn.
+        if self.mobility.on_move is not None:
+            self.mobility.on_move = None
+            self.mobility.refresh_anchor()   # cancels the armed re-anchor
         if self.on_radio_state is not None:
             self.on_radio_state(self, "down")
 
@@ -112,6 +131,12 @@ class Node:
         self.depleted = False
         if self.id not in self.medium.nodes:
             self.medium.register(self)
+        # Resume anchor pushes undone by power_down (register() already
+        # indexed the exact current position; refresh re-arms the
+        # mid-leg re-anchor so it stays slack-bounded).
+        if self.medium.position_slack_m is not None:
+            self.mobility.on_move = self._announce_position
+            self.mobility.refresh_anchor()
         self.recover()
 
     # -- duty cycling ---------------------------------------------------------------
@@ -147,13 +172,17 @@ class Node:
 
     @property
     def now(self) -> float:
+        """Current simulation time, seconds."""
         return self.sim.now
 
     @property
     def rng(self):
+        """This node's dedicated deterministic random stream."""
         return self._rng
 
     def send(self, message: Message) -> None:
+        """Broadcast ``message`` one hop (queued while asleep, dropped
+        while crashed)."""
         if not self.alive:
             return
         if self.asleep:
@@ -163,6 +192,8 @@ class Node:
 
     def schedule(self, delay: float, callback: Callable[..., None],
                  *args) -> Timer:
+        """Run ``callback(*args)`` in ``delay`` seconds unless this node
+        crashes first; returns the cancellable :class:`Timer`."""
         timer = self.sim.schedule(delay, self._guarded, callback, args)
         self._timers.append(timer)
         if len(self._timers) > 64:
@@ -175,12 +206,15 @@ class Node:
 
     def periodic(self, period: float, callback: Callable[[], None],
                  jitter: float = 0.0) -> PeriodicTask:
+        """Start a repeating task every ``period`` seconds (plus
+        ``U(0, jitter)`` per tick), stopped automatically on crash."""
         task = PeriodicTask(self.sim, period, callback, jitter=jitter,
                             rng=self._rng)
         self._periodics.append(task)
         return task
 
     def deliver(self, event: Event) -> None:
+        """Hand an event to the application layer (records + notifies)."""
         self.delivered_events.append(event)
         if self.on_deliver is not None:
             self.on_deliver(self, event)
@@ -198,9 +232,15 @@ class Node:
     # -- medium interface ---------------------------------------------------------------
 
     def position(self) -> Vec2:
+        """Exact current position (metres) from the mobility model."""
         return self.mobility.position()
 
+    def _announce_position(self, pos: Vec2) -> None:
+        """Forward a mobility anchor push into the medium's spatial index."""
+        self.medium.note_position(self.id, pos)
+
     def receive(self, message: Message) -> None:
+        """Frame arrival from the medium; ignored while crashed."""
         if self.alive:
             self.protocol.on_message(message)
 

@@ -65,6 +65,8 @@ def two_ray_path_loss_db(distance_m: float, frequency_hz: float,
 
 
 class PathLossModel(enum.Enum):
+    """Which propagation model solves the link budget for range."""
+
     FREE_SPACE = "free-space"
     TWO_RAY = "two-ray"
 
@@ -105,6 +107,7 @@ class RadioConfig:
                 - 2.0 * efficiency_loss)
 
     def path_loss_db(self, distance_m: float) -> float:
+        """Path loss in dB at ``distance_m`` under the configured model."""
         if self.path_loss is PathLossModel.FREE_SPACE:
             return free_space_path_loss_db(distance_m, self.frequency_hz)
         return two_ray_path_loss_db(distance_m, self.frequency_hz,

@@ -211,6 +211,7 @@ class PeriodicTask:
 
     @property
     def period(self) -> float:
+        """Current tick period in seconds (jitter excluded)."""
         return self._period
 
     def set_period(self, period: float) -> None:
@@ -221,6 +222,7 @@ class PeriodicTask:
 
     @property
     def running(self) -> bool:
+        """True until :meth:`stop` is called."""
         return not self._stopped
 
     def stop(self) -> None:

@@ -32,15 +32,19 @@ class Vec2:
     __rmul__ = __mul__
 
     def dot(self, other: "Vec2") -> float:
+        """Scalar (dot) product with ``other``."""
         return self.x * other.x + self.y * other.y
 
     def norm(self) -> float:
+        """Euclidean length of the vector, in metres."""
         return math.hypot(self.x, self.y)
 
     def distance_to(self, other: "Vec2") -> float:
+        """Euclidean distance to ``other``, in metres."""
         return math.hypot(self.x - other.x, self.y - other.y)
 
     def normalized(self) -> "Vec2":
+        """Unit-length vector with this direction (raises on zero)."""
         n = self.norm()
         if n == 0.0:
             raise ValueError("cannot normalise the zero vector")
@@ -52,6 +56,7 @@ class Vec2:
                     self.y + (other.y - self.y) * t)
 
     def as_tuple(self) -> Tuple[float, float]:
+        """The ``(x, y)`` coordinates as a plain tuple (metres)."""
         return (self.x, self.y)
 
 
@@ -80,6 +85,7 @@ class SpatialGrid:
         return obj_id in self._positions
 
     def position(self, obj_id: int) -> Vec2:
+        """Last indexed position of ``obj_id`` (raises KeyError if absent)."""
         return self._positions[obj_id]
 
     def insert(self, obj_id: int, pos: Vec2) -> None:
@@ -101,6 +107,7 @@ class SpatialGrid:
     update = insert
 
     def remove(self, obj_id: int) -> None:
+        """Drop an object from the index (no-op if absent)."""
         pos = self._positions.pop(obj_id, None)
         if pos is None:
             return
@@ -141,7 +148,9 @@ class SpatialGrid:
         return found
 
     def items(self) -> Iterator[Tuple[int, Vec2]]:
+        """Iterate ``(obj_id, position)`` pairs in insertion order."""
         return iter(self._positions.items())
 
     def ids(self) -> Iterable[int]:
+        """All indexed object ids (a live view)."""
         return self._positions.keys()
