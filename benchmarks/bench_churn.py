@@ -1,0 +1,69 @@
+"""Fault & churn benchmarks: delivery ratio and overhead vs churn rate.
+
+``test_churn_resilience`` regenerates the churn-resilience sweep at the
+selected scale (`paper` scale gives the paper-density 150-process grid):
+frugal vs the flooding baselines across leave rates, with availability,
+churn-aware reliability and recovery-latency columns.
+``test_ablation_outage`` runs the regional-outage ablation.  The
+micro-bench times the fault injector's bookkeeping on a heavily churned
+world — the per-transition overhead the subsystem adds to a run.
+"""
+
+from __future__ import annotations
+
+from common import publish, scale
+from repro.faults import ChurnConfig, FaultConfig
+from repro.harness.experiments import ablation_outage, churn_resilience
+from repro.harness.scenario import (FixedPositionsSpec, ScenarioConfig,
+                                    run_scenario)
+
+
+def test_churn_resilience(benchmark):
+    result = benchmark.pedantic(churn_resilience, args=(scale(),),
+                                rounds=1, iterations=1)
+    publish(result)
+    for row in result.rows:
+        # Churn-aware denominators only ever *remove* subscribers that
+        # could not possibly have been served, so the churn-aware view
+        # is never below the plain one.
+        assert row["churn_reliability"] >= row["reliability"] - 1e-12
+    churned = [r for r in result.rows if r["churn_per_min"] > 0]
+    baseline = [r for r in result.rows if r["churn_per_min"] == 0]
+    assert all(r["availability"] < 1.0 for r in churned)
+    assert all(r["availability"] == 1.0 for r in baseline)
+    # The frugality headline survives churn: frugal spends a fraction of
+    # the flooders' bytes at every churn rate.
+    for rate in sorted({r["churn_per_min"] for r in result.rows}):
+        by_proto = {r["protocol"]: r for r in result.rows
+                    if r["churn_per_min"] == rate}
+        assert by_proto["frugal"]["bandwidth_bytes"] < \
+            by_proto["simple-flooding"]["bandwidth_bytes"]
+
+
+def test_ablation_outage(benchmark):
+    result = benchmark.pedantic(ablation_outage, args=(scale(),),
+                                rounds=1, iterations=1)
+    publish(result)
+    outaged = [r for r in result.rows if r["outage"] != "none"]
+    assert all(r["availability"] < 1.0 for r in outaged)
+
+
+def test_injector_transition_hot_path(benchmark):
+    """A clockwork-churned 32-node line: every node flaps every 4 s for
+    120 s — ~960 availability transitions of injector bookkeeping plus
+    the protocol's re-sync traffic they trigger."""
+
+    def churned_run() -> float:
+        config = ScenarioConfig(
+            n_processes=32,
+            mobility=FixedPositionsSpec(
+                positions=tuple((i * 40.0, 0.0) for i in range(32))),
+            duration=120.0, warmup=0.0, seed=5,
+            faults=FaultConfig(churn=ChurnConfig(
+                mean_session_s=3.0, mean_rest_s=1.0,
+                distribution="fixed")))
+        result = run_scenario(config)
+        return result.availability()
+
+    availability = benchmark(churned_run)
+    assert 0.0 < availability < 1.0

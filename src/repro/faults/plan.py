@@ -1,0 +1,109 @@
+"""Declarative fault schedules: who fails how, and when.
+
+A :class:`FaultPlan` is a tuple of :class:`FaultEvent` entries, each
+firing at a fixed offset from the start of the measurement window (the
+same time base as :class:`~repro.harness.scenario.Publication`).  Plans
+are frozen dataclasses: they pickle, hash into the result-cache key via
+``harness.cache.canonical`` and compare by value, so two configs with
+different plans can never collide in the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: The supported fault kinds.
+#:
+#: ``crash``    — fail-stop: the process loses all volatile state, its
+#:               radio goes deaf and mute (paper Section 2).
+#: ``recover``  — restart a crashed process with empty state.
+#: ``silence``  — the radio goes down but the process survives: deaf and
+#:               mute, outbound frames queue until ``restore`` (jamming /
+#:               radio-off semantics, distinct from a crash).
+#: ``restore``  — bring a silenced radio back up, flushing queued frames.
+#: ``drain``    — battery death: permanent fail-stop, the node leaves the
+#:               medium and cannot recover (``Node.power_down``).
+FAULT_KINDS = ("crash", "recover", "silence", "restore", "drain")
+
+#: Kinds that accept a ``duration`` (the matching undo is scheduled
+#: automatically: crash -> recover, silence -> restore).
+_UNDOABLE = {"crash": "recover", "silence": "restore"}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``at`` is seconds after the start of the measurement window.  Targets
+    are either explicit ``nodes`` ids or a population ``fraction`` drawn
+    deterministically from the dedicated ``("faults", "targets")`` RNG
+    stream (exactly one of the two must be given).  For ``crash`` and
+    ``silence``, an optional ``duration`` schedules the matching
+    ``recover``/``restore`` automatically.
+    """
+
+    at: float
+    kind: str
+    nodes: Tuple[int, ...] = ()
+    fraction: Optional[float] = None
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}: "
+                             f"{self.kind!r}")
+        if self.at < 0:
+            raise ValueError(f"fault at {self.at}s precedes the "
+                             f"measurement window")
+        has_nodes = len(self.nodes) > 0
+        has_fraction = self.fraction is not None
+        if has_nodes == has_fraction:
+            raise ValueError("target exactly one of nodes=... or "
+                             "fraction=...")
+        if has_nodes and any(n < 0 for n in self.nodes):
+            raise ValueError(f"node ids must be >= 0: {self.nodes}")
+        if has_fraction and not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1]: {self.fraction}")
+        if self.duration is not None:
+            if self.kind not in _UNDOABLE:
+                raise ValueError(f"{self.kind!r} events cannot carry a "
+                                 f"duration (nothing to undo)")
+            if self.duration <= 0:
+                raise ValueError(f"duration must be positive: "
+                                 f"{self.duration}")
+
+    @property
+    def undo_kind(self) -> Optional[str]:
+        """The kind that reverses this event, or ``None``."""
+        return _UNDOABLE.get(self.kind)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered schedule of :class:`FaultEvent` entries.
+
+    Events firing at the same instant apply in tuple order (the kernel's
+    FIFO tie-breaking), so a plan is fully deterministic.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def validate(self, duration: float, n_processes: int) -> None:
+        """Check every event fits the scenario's window and population."""
+        for event in self.events:
+            if event.at >= duration:
+                raise ValueError(
+                    f"fault at {event.at}s falls outside the measurement "
+                    f"window [0, {duration})")
+            for node_id in event.nodes:
+                if node_id >= n_processes:
+                    raise ValueError(
+                        f"fault targets node {node_id} but the scenario "
+                        f"has only {n_processes} processes")

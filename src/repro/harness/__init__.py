@@ -12,26 +12,30 @@
 * :mod:`repro.harness.reporting` — ASCII tables and CSV output.
 """
 
-from repro.harness.scenario import (CitySectionSpec, MobilitySpec,
-                                    Publication, RandomWaypointSpec,
-                                    ScenarioConfig, ScenarioResult,
-                                    StationarySpec, World, build_world,
-                                    make_protocol, run_scenario)
+from repro.harness.scenario import (CitySectionSpec, FixedPositionsSpec,
+                                    MobilitySpec, Publication,
+                                    RandomWaypointSpec, ScenarioConfig,
+                                    ScenarioResult, StationarySpec, World,
+                                    build_world, make_protocol,
+                                    run_scenario)
 from repro.harness.runner import (Aggregate, MultiSeedResult, aggregate,
                                   run_matrix, run_seeds)
 from repro.harness.cache import ResultCache, code_version_tag, config_digest
 from repro.harness.parallel import EngineStats, ParallelRunner
-from repro.harness.presets import PAPER, QUICK, Scale, get_scale
+from repro.harness.presets import PAPER, QUICK, SMOKE, Scale, get_scale
 from repro.harness.experiments import (ALL_EXPERIMENTS, ExperimentResult,
-                                       city_scenario, energy_scenario,
+                                       churn_scenario, city_scenario,
+                                       energy_scenario,
                                        frugality_comparison, rwp_scenario)
-from repro.harness.reporting import (depletion_timeline,
+from repro.harness.reporting import (availability_timeline,
+                                     depletion_timeline,
                                      format_engine_stats,
                                      format_experiment, format_table,
                                      reliability_grid, to_csv)
 
 __all__ = [
     "CitySectionSpec",
+    "FixedPositionsSpec",
     "MobilitySpec",
     "Publication",
     "RandomWaypointSpec",
@@ -55,14 +59,17 @@ __all__ = [
     "format_engine_stats",
     "PAPER",
     "QUICK",
+    "SMOKE",
     "Scale",
     "get_scale",
     "ALL_EXPERIMENTS",
     "ExperimentResult",
+    "churn_scenario",
     "city_scenario",
     "energy_scenario",
     "frugality_comparison",
     "rwp_scenario",
+    "availability_timeline",
     "depletion_timeline",
     "format_experiment",
     "format_table",

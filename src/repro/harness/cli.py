@@ -42,11 +42,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (fig11..fig20, abl-gc, abl-backoff, "
-             "abl-adaptive-hb, abl-ids, abl-dutycycle, energy-lifetime), "
-             "'all', or 'list'")
+             "abl-adaptive-hb, abl-ids, abl-dutycycle, abl-outage, "
+             "energy-lifetime, churn-resilience), 'all', or 'list'")
     parser.add_argument(
-        "--scale", default=None, choices=["quick", "paper"],
-        help="experiment scale (default: REPRO_SCALE env or quick)")
+        "--scale", default=None, choices=["smoke", "quick", "paper"],
+        help="experiment scale (default: REPRO_SCALE env or quick; "
+             "smoke is the minimal CI-smoke sizing)")
     parser.add_argument(
         "--seed", type=int, default=None,
         help="re-base the deterministic seed set on this first seed "

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.config import FrugalConfig
 from repro.energy import DutyCycleConfig, EnergyConfig, PowerProfile
+from repro.faults import ChurnConfig, FaultConfig, RegionalOutage
 from repro.harness.presets import Scale, get_scale
 # run_seeds resolves through the parallel execution engine: experiments
 # transparently use whatever --jobs / cache configuration the CLI or
@@ -448,6 +449,130 @@ def ablation_dutycycle(scale: Optional[Scale] = None,
 
 
 # --------------------------------------------------------------------------
+# Fault & churn experiments (availability as an evaluation axis)
+# --------------------------------------------------------------------------
+
+#: Frugal vs the two canonical Section 5.2 flooders under churn: the
+#: interest-aware flooder (closest competitor) and the blind flooder
+#: (upper bound on redundancy, hence on churn tolerance per byte).
+CHURN_PROTOCOLS = ("frugal", "interest-flooding", "simple-flooding")
+
+#: Mean session lengths swept by ``churn-resilience``; ``None`` is the
+#: churn-free baseline row (instrumented with an *empty* fault config so
+#: every row carries the availability columns).
+CHURN_SESSIONS_FULL = (None, 240.0, 120.0, 60.0, 30.0)
+CHURN_SESSIONS_COARSE = (None, 120.0, 30.0)
+
+#: Metrics every fault-instrumented summary exposes.
+FAULT_METRICS = ("availability", "churn_reliability",
+                 "recovery_latency_s", "downtime_s")
+
+
+def churn_scenario(scale: Scale, protocol: str,
+                   mean_session_s: Optional[float],
+                   mean_rest_s: float = 45.0,
+                   n_events: int = 5, interest: float = 0.8,
+                   duration: float = 120.0) -> ScenarioConfig:
+    """A random-waypoint trial under population churn.
+
+    Nodes alternate exponential up-sessions (mean ``mean_session_s``)
+    and down-rests (mean ``mean_rest_s``); ``mean_session_s=None``
+    yields the churn-free baseline, still fault-instrumented (empty
+    config) so its summary carries the same availability columns.
+    Events outlive the churn rests, so the store-and-forward phase —
+    not raw luck — decides who catches up.
+    """
+    cfg = rwp_scenario(scale, 10.0, 10.0, validity=100.0,
+                       interest=interest, n_events=n_events,
+                       protocol=protocol, duration=duration)
+    if mean_session_s is None:
+        faults = FaultConfig()
+    else:
+        faults = FaultConfig(churn=ChurnConfig(
+            mean_session_s=mean_session_s, mean_rest_s=mean_rest_s))
+    return cfg.with_changes(faults=faults)
+
+
+def churn_resilience(scale: Optional[Scale] = None) -> ExperimentResult:
+    """churn-resilience: delivery under churn, frugal vs flooders.
+
+    Sweeps protocol x churn rate on paired seeds.  ``churn_per_min`` is
+    the expected leaves per node per minute (0 = no churn); the
+    ``churn_reliability`` column uses churn-aware denominators, so the
+    gap between it and plain ``reliability`` is exactly the deliveries
+    that were physically impossible, not protocol failures.
+    """
+    scale = scale or get_scale()
+    sessions = scale.pick(CHURN_SESSIONS_FULL, CHURN_SESSIONS_COARSE)
+    result = ExperimentResult(
+        experiment_id="churn-resilience",
+        title="Delivery under population churn "
+              "(random waypoint, 10 m/s, exponential sessions)",
+        parameters={"scale": scale.name,
+                    "protocols": list(CHURN_PROTOCOLS),
+                    "mean_sessions_s": ["none" if s is None else s
+                                        for s in sessions]})
+    for protocol in CHURN_PROTOCOLS:
+        for session in sessions:
+            cfg = churn_scenario(scale, protocol, session)
+            multi = run_seeds(cfg, scale.seed_list())
+            summary = multi.summary()
+            row = {"protocol": protocol,
+                   "churn_per_min": (0.0 if session is None
+                                     else 60.0 / session),
+                   "reliability": summary["reliability"].mean,
+                   "bandwidth_bytes": summary["bandwidth_bytes"].mean,
+                   "duplicates": summary["duplicates"].mean}
+            for name in FAULT_METRICS:
+                row[name] = summary[name].mean
+                row[name + "_std"] = summary[name].std
+            result.rows.append(row)
+    return result
+
+
+def ablation_outage(scale: Optional[Scale] = None) -> ExperimentResult:
+    """abl-outage: a regional outage knocks out the middle of the map.
+
+    One circular outage centred on the area, radius a fraction of the
+    half-side, from t=20 s to t=80 s of a 120 s window.  ``silence``
+    (radios jammed, state survives) is compared against ``crash``
+    (state lost) and the no-outage baseline: the frugal protocol's
+    validity periods are what lets the silenced region catch up.
+    """
+    scale = scale or get_scale()
+    fractions = scale.pick([0.25, 0.5, 0.75], [0.5])
+    variants = [("none", 0.0)] + [(kind, frac)
+                                  for kind in ("silence", "crash")
+                                  for frac in fractions]
+    result = ExperimentResult(
+        experiment_id="abl-outage",
+        title="Regional outage ablation (60 s outage, random waypoint)",
+        parameters={"scale": scale.name,
+                    "kinds": ["none", "silence", "crash"],
+                    "radius_fractions": fractions})
+    half = scale.rwp_area_m / 2.0
+    for kind, frac in variants:
+        if kind == "none":
+            faults = FaultConfig()
+        else:
+            faults = FaultConfig(outages=(RegionalOutage(
+                at=20.0, duration=60.0, center=(half, half),
+                radius_m=frac * half, kind=kind),))
+        cfg = rwp_scenario(scale, 10.0, 10.0, validity=100.0,
+                           interest=0.8, n_events=5,
+                           duration=120.0).with_changes(faults=faults)
+        multi = run_seeds(cfg, scale.seed_list())
+        summary = multi.summary()
+        row = {"outage": kind, "radius_frac": frac,
+               "reliability": summary["reliability"].mean,
+               "bandwidth_bytes": summary["bandwidth_bytes"].mean}
+        for name in FAULT_METRICS:
+            row[name] = summary[name].mean
+        result.rows.append(row)
+    return result
+
+
+# --------------------------------------------------------------------------
 # Related work (paper Section 6): broadcast-storm schemes
 # --------------------------------------------------------------------------
 
@@ -603,4 +728,6 @@ ALL_EXPERIMENTS: Dict[str, Callable[[Optional[Scale]], ExperimentResult]] = {
     "abl-dutycycle": ablation_dutycycle,
     "related-work": related_work_comparison,
     "energy-lifetime": energy_lifetime,
+    "churn-resilience": churn_resilience,
+    "abl-outage": ablation_outage,
 }

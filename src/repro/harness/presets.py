@@ -1,4 +1,4 @@
-"""Experiment scales: `quick` (CI-friendly) and `paper` (full size).
+"""Experiment scales: `smoke` (tiny), `quick` (CI-friendly), `paper` (full).
 
 The paper's evaluation runs 150 processes over 25 km² for the random
 waypoint model and 15 processes over the 1200x900 m campus for the city
@@ -8,7 +8,8 @@ the *density* (processes per unit of radio coverage) and the qualitative
 shape while shrinking population, area and seed count.
 
 Select with the ``REPRO_SCALE`` environment variable (``quick`` default,
-``paper``) or by passing a :class:`Scale` explicitly.
+``paper``, or the minimal ``smoke`` used by CI smoke steps) or by passing
+a :class:`Scale` explicitly.
 """
 
 from __future__ import annotations
@@ -54,6 +55,21 @@ class Scale:
         return list(full if self.sweep_density == "full" else coarse)
 
 
+SMOKE = Scale(
+    name="smoke",
+    # Smallest population that still forms a multi-hop network at the
+    # paper's ~6 processes/km² density; 2 seeds.  For CI smoke steps and
+    # local sanity runs where wall-clock matters more than error bars.
+    rwp_processes=10,
+    rwp_area_m=1300.0,
+    rwp_warmup=10.0,
+    city_processes=6,
+    city_warmup=10.0,
+    city_publisher_rotations=1,
+    seeds=2,
+    sweep_density="coarse",
+)
+
 QUICK = Scale(
     name="quick",
     # ~6 processes per km² like the paper (150 / 25 km²), 442 m radio range.
@@ -79,7 +95,7 @@ PAPER = Scale(
     sweep_density="full",
 )
 
-_SCALES = {s.name: s for s in (QUICK, PAPER)}
+_SCALES = {s.name: s for s in (SMOKE, QUICK, PAPER)}
 
 
 def get_scale(name: Optional[str] = None) -> Scale:

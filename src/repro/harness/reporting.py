@@ -118,6 +118,33 @@ def depletion_timeline(deaths: Sequence[tuple], n_nodes: int,
     return format_table(rows)
 
 
+def availability_timeline(timeline, buckets: int = 10) -> str:
+    """Nodes-up-over-time table from a
+    :class:`~repro.faults.injector.FaultTimeline`.
+
+    The fault experiments' population view: how much of the network was
+    up at each slice of the measurement window (churn rests, outage
+    windows and permanent drains all show up as dips).
+    """
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    start, end = timeline.window
+    if end <= start:
+        raise ValueError("timeline window must have positive length")
+    n = timeline.n_nodes
+    if n <= 0:
+        raise ValueError("timeline must cover at least one node")
+    rows = []
+    for i in range(1, buckets + 1):
+        t = start + (end - start) * i / buckets
+        # Sample just inside the bucket edge: an interval closing exactly
+        # at the window end would otherwise be missed by the [s, e) test.
+        up = n - timeline.down_count_at(min(t, end) - 1e-9)
+        rows.append({"t [s]": t - start, "up": up,
+                     "up [%]": 100.0 * up / n})
+    return format_table(rows)
+
+
 def reliability_grid(result: ExperimentResult, row_key: str,
                      col_key: str, value_key: str = "reliability",
                      **fixed) -> str:

@@ -35,13 +35,16 @@ from repro.core.config import FrugalConfig
 from repro.core.events import Event, EventFactory
 from repro.core.protocol import FrugalPubSub
 from repro.energy import EnergyAccountant, EnergyConfig
+from repro.faults import FaultConfig, FaultInjector, FaultTimeline
 from repro.metrics import (MetricsCollector, ReliabilityReport,
-                           event_reliability, mean_reliability)
+                           churn_aware_reliability, event_reliability,
+                           mean_reliability, recovery_latencies)
 from repro.mobility import (CitySection, MobilityModel, RandomWaypoint,
                             Stationary, StreetMap, campus_map)
 from repro.net import (MediumConfig, Node, RadioConfig, SizeModel,
                        WirelessMedium)
 from repro.sim import RngRegistry, Simulator
+from repro.sim.space import Vec2
 
 PROTOCOLS = ("frugal", "simple-flooding", "interest-flooding",
              "neighbor-flooding", "gossip-flooding", "counter-flooding")
@@ -121,6 +124,29 @@ class StationarySpec(MobilitySpec):
         return Stationary(width=self.width, height=self.height)
 
 
+@dataclass(frozen=True)
+class FixedPositionsSpec(MobilitySpec):
+    """Explicit stationary placement: process ``i`` sits at
+    ``positions[i]`` (metres).
+
+    Used by topology-sensitive tests and examples — a line of nodes, a
+    known cluster inside an outage region — where the random placement
+    of :class:`StationarySpec` would make assertions meaningless.
+    Extra processes wrap around the position list.
+    """
+
+    positions: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.positions:
+            raise ValueError("positions must not be empty")
+
+    def build(self, index: int) -> MobilityModel:
+        """Fixed-position model for one process."""
+        x, y = self.positions[index % len(self.positions)]
+        return Stationary(position=Vec2(x, y))
+
+
 # --------------------------------------------------------------------------
 # Publications
 # --------------------------------------------------------------------------
@@ -129,10 +155,13 @@ class StationarySpec(MobilitySpec):
 class Publication:
     """One scheduled publish.
 
-    ``at`` is relative to the end of the warm-up window.  ``publisher``
-    is an index into the *subscriber* population (``None`` lets the
-    scenario pick the first subscriber), so publishers are always
-    interested in their own topic, as in the paper's experiments.
+    ``at`` is relative to the end of the warm-up window — a publication
+    can therefore never overlap warm-up by construction (negative
+    offsets, the only way to reach into warm-up, are rejected by
+    ``ScenarioConfig.__post_init__``).  ``publisher`` is an index into
+    the *subscriber* population (``None`` lets the scenario pick the
+    first subscriber), so publishers are always interested in their own
+    topic, as in the paper's experiments.
     """
 
     at: float
@@ -170,6 +199,7 @@ class ScenarioConfig:
     publications: Tuple[Publication, ...] = ()
     speed_sensor: bool = True
     energy: Optional[EnergyConfig] = None
+    faults: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_processes < 1:
@@ -184,10 +214,22 @@ class ScenarioConfig:
         if not 0.0 < self.subscriber_fraction <= 1.0:
             raise ValueError("subscriber_fraction must be in (0, 1]")
         for pub in self.publications:
-            if pub.at < 0 or pub.at >= self.duration:
+            # Publication.at is relative to the *end* of warm-up, so a
+            # publication cannot overlap the warm-up window: the only
+            # way to reach into it would be a negative offset, rejected
+            # here explicitly.
+            if pub.at < 0:
+                raise ValueError(
+                    f"publication at {pub.at}s would precede the "
+                    f"measurement window: Publication.at is relative to "
+                    f"the end of warm-up ({self.warmup}s), so scheduling "
+                    f"inside warm-up is not possible")
+            if pub.at >= self.duration:
                 raise ValueError(
                     f"publication at {pub.at}s falls outside the "
                     f"measurement window [0, {self.duration})")
+        if self.faults is not None:
+            self.faults.validate(self.duration, self.n_processes)
 
     def with_changes(self, **changes) -> "ScenarioConfig":
         """A copy of this config with the given fields replaced."""
@@ -244,6 +286,7 @@ class ScenarioResult:
     sim_events_processed: int
     wallclock_s: float
     energy: Optional[EnergyAccountant] = None
+    faults: Optional[FaultTimeline] = None
 
     # -- reliability -------------------------------------------------------------
 
@@ -328,9 +371,44 @@ class ScenarioResult:
                    for event in self.published_events]
         return mean_reliability(reports)
 
+    # -- faults (only when the scenario is fault-instrumented) ----------------------
+
+    def availability(self) -> float:
+        """Mean fraction of the window the population was up (1.0 for
+        fault-free scenarios)."""
+        return 1.0 if self.faults is None else self.faults.availability()
+
+    def mean_downtime_s(self) -> float:
+        """Mean fault-induced downtime per node, seconds."""
+        return 0.0 if self.faults is None else self.faults.mean_downtime_s()
+
+    def churn_reliability(self) -> float:
+        """Reliability with churn-aware denominators: per event, only
+        subscribers that were up at some point of its validity window
+        count — a node down the whole window could never have received
+        it.  Equals :meth:`reliability` for fault-free scenarios."""
+        if self.faults is None:
+            return self.reliability()
+        return churn_aware_reliability(self.collector,
+                                       self.published_events,
+                                       self.subscriber_ids,
+                                       self.faults.was_up_during)
+
+    def recovery_latency_s(self) -> float:
+        """Mean catch-up delay after recoveries: how long a recovered
+        subscriber waited for its first delivery of each event that was
+        still valid when it came back (0.0 when nothing caught up)."""
+        if self.faults is None:
+            return 0.0
+        samples = recovery_latencies(self.collector, self.published_events,
+                                     self.subscriber_ids,
+                                     self.faults.recoveries)
+        return sum(samples) / len(samples) if samples else 0.0
+
     def summary(self) -> Dict[str, float]:
         """The four paper metrics plus reliability (and, for
-        energy-instrumented scenarios, the energy metrics), flat."""
+        energy-/fault-instrumented scenarios, the energy and
+        availability metrics), flat."""
         out = {
             "reliability": self.reliability(),
             "bandwidth_bytes": self.bandwidth_per_process_bytes(),
@@ -345,6 +423,13 @@ class ScenarioResult:
                 "lifetime_s": self.network_lifetime_s(),
                 "survivor_fraction": self.survivor_fraction(),
                 "survivor_reliability": self.survivor_reliability(),
+            })
+        if self.faults is not None:
+            out.update({
+                "availability": self.availability(),
+                "churn_reliability": self.churn_reliability(),
+                "recovery_latency_s": self.recovery_latency_s(),
+                "downtime_s": self.mean_downtime_s(),
             })
         return out
 
@@ -399,6 +484,7 @@ class World:
     nodes: List[Node]
     subscriber_ids: List[int]
     energy: Optional[EnergyAccountant] = None
+    faults: Optional[FaultInjector] = None
 
     def __iter__(self):
         return iter((self.sim, self.medium, self.collector, self.nodes,
@@ -435,8 +521,20 @@ def build_world(config: ScenarioConfig) -> World:
         if accountant is not None:
             accountant.track_node(node)
         nodes.append(node)
+    injector = None
+    if config.faults is not None:
+        # Armed at build time: fault timers land on the kernel before
+        # any node starts, so same-instant ties resolve plan-first,
+        # deterministically.  All fault times are offsets from the end
+        # of warm-up, the same time base publications use.
+        injector = FaultInjector(
+            sim=sim, medium=medium, nodes=nodes, rngs=rngs,
+            config=config.faults, start=config.warmup,
+            horizon=config.warmup + config.duration)
+        injector.arm()
     return World(sim=sim, medium=medium, collector=collector, nodes=nodes,
-                 subscriber_ids=subscriber_ids, energy=accountant)
+                 subscriber_ids=subscriber_ids, energy=accountant,
+                 faults=injector)
 
 
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
@@ -484,6 +582,8 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
 
     if world.energy is not None:
         world.energy.finalize()
+    if world.faults is not None:
+        world.faults.finalize()
 
     return ScenarioResult(
         config=config,
@@ -493,4 +593,5 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         non_subscriber_ids=non_subscribers,
         sim_events_processed=sim.events_processed,
         wallclock_s=_wallclock.perf_counter() - started,
-        energy=world.energy)
+        energy=world.energy,
+        faults=None if world.faults is None else world.faults.timeline)

@@ -6,16 +6,21 @@ frugal protocol and the flooding baselines are scored by the same ruler.
 """
 
 from repro.metrics.collector import MetricsCollector, NodeStats
-from repro.metrics.reliability import (ReliabilityReport, event_reliability,
-                                       mean_reliability, reliability_spread)
+from repro.metrics.reliability import (ReliabilityReport,
+                                       churn_aware_reliability,
+                                       event_reliability, mean_reliability,
+                                       recovery_latencies,
+                                       reliability_spread)
 from repro.metrics.trace import ProtocolTracer, TraceRecord
 
 __all__ = [
     "MetricsCollector",
     "NodeStats",
     "ReliabilityReport",
+    "churn_aware_reliability",
     "event_reliability",
     "mean_reliability",
+    "recovery_latencies",
     "reliability_spread",
     "ProtocolTracer",
     "TraceRecord",

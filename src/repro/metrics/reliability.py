@@ -71,6 +71,67 @@ def mean_reliability(reports: Sequence[ReliabilityReport]) -> float:
     return sum(r.reliability for r in reports) / len(reports)
 
 
+def churn_aware_reliability(collector: MetricsCollector,
+                            events: Sequence[Event],
+                            subscriber_ids: Iterable[int],
+                            up_during) -> float:
+    """Mean reliability with churn-aware denominators.
+
+    ``up_during(node_id, start, end) -> bool`` reports whether a node was
+    available at any point of ``[start, end]`` (e.g.
+    ``FaultTimeline.was_up_during``).  A subscriber that was down for an
+    event's *entire* validity window could never have received it, so it
+    is excluded from that event's denominator — the plain reliability
+    metric would otherwise report protocol failures for deliveries that
+    were physically impossible.
+    """
+    subscriber_ids = list(subscriber_ids)
+    reports = []
+    for event in events:
+        eligible = [i for i in subscriber_ids
+                    if up_during(i, event.published_at, event.expires_at)]
+        reports.append(event_reliability(collector, event, eligible))
+    return mean_reliability(reports)
+
+
+def recovery_latencies(collector: MetricsCollector,
+                       events: Sequence[Event],
+                       subscriber_ids: Iterable[int],
+                       recoveries: Sequence[tuple]) -> List[float]:
+    """Catch-up delays after recoveries, one sample per caught-up event.
+
+    ``recoveries`` is a sequence of ``(time, node_id)`` up-transitions
+    (e.g. ``FaultTimeline.recoveries``).  A ``(node, event)`` pair
+    contributes at most **one** sample: the event must have been
+    published before some recovery of that subscriber, still be valid
+    then, and its *first* delivery to the node must land after that
+    recovery (and before expiry).  The sample is measured from the
+    *latest* qualifying recovery — the one that actually performed the
+    catch-up — so a flapping node's earlier recoveries neither
+    duplicate the sample nor contaminate it with interleaved downtime.
+    This is the store-and-forward catch-up latency the paper's validity
+    periods exist to bound.
+    """
+    subscribers = set(subscriber_ids)
+    recovery_times: dict = {}
+    for recovered_at, node_id in recoveries:
+        if node_id in subscribers:
+            recovery_times.setdefault(node_id, []).append(recovered_at)
+    out: List[float] = []
+    for event in events:
+        deliveries = collector.deliveries_of(event.event_id)
+        for node_id, times in recovery_times.items():
+            delivered_at = deliveries.get(node_id)
+            if delivered_at is None or delivered_at > event.expires_at:
+                continue
+            qualifying = [t for t in times
+                          if event.published_at <= t <= event.expires_at
+                          and t < delivered_at]
+            if qualifying:
+                out.append(delivered_at - max(qualifying))
+    return out
+
+
 def reliability_spread(reports: Sequence[ReliabilityReport]) -> float:
     """Max-min reliability across reports — the paper's Fig. 15 metric
     ("difference of reliability between the publishers")."""

@@ -275,10 +275,16 @@ class WirelessMedium:
         # busy transmitting its own frame / overlapped by an audible one.
         self.on_tx_window: Optional[Callable[[int, float], None]] = None
         self.on_rx_window: Optional[Callable[[int, float], None]] = None
+        # Fault-injection loss hook: called (sender_id, receiver_id) at
+        # delivery time; returning True drops the frame.  Installed by
+        # the fault injector's link-loss model; None (the default) adds
+        # zero work and zero RNG draws to the delivery path.
+        self.extra_loss: Optional[Callable[[int, int], bool]] = None
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_collided = 0
         self.frames_lost_random = 0
+        self.frames_lost_fault = 0
 
     # -- membership ---------------------------------------------------------------
 
@@ -337,6 +343,27 @@ class WirelessMedium:
         """Registered nodes by id (insertion-ordered)."""
         return self._nodes
 
+    def nodes_within(self, pos: Vec2, radius_m: float) -> List["Node"]:
+        """Registered nodes whose *exact* position lies within
+        ``radius_m`` of ``pos``, in ascending-id order.
+
+        Resolution mirrors receiver resolution: in grid mode the spatial
+        index is queried with ``radius + slack`` (an anchor is never
+        staler than the slack distance) and candidates are re-filtered
+        against exact interpolated positions, so both modes return the
+        identical set.  Used by the fault subsystem to resolve regional
+        outage membership.
+        """
+        if radius_m < 0:
+            raise ValueError(f"radius_m must be >= 0: {radius_m}")
+        if self._grid is not None:
+            ids = self._grid.query_radius(pos, radius_m + self._slack_m)
+            candidates = [self._nodes[i] for i in ids if i in self._nodes]
+        else:
+            candidates = [node for _, node in sorted(self._nodes.items())]
+        return [node for node in candidates
+                if node.position().distance_to(pos) <= radius_m]
+
     # -- sending --------------------------------------------------------------------
 
     def broadcast(self, sender_id: int, message: Message) -> None:
@@ -348,9 +375,9 @@ class WirelessMedium:
         sender = self._nodes.get(sender_id)
         if sender is None or not sender.alive:
             return  # sender crashed while the frame was queued
-        if sender.asleep:
-            sender.send(message)   # radio duty-cycled off mid-backoff:
-            return                 # requeue the frame for the next wake
+        if sender.asleep or sender.silenced:
+            sender.send(message)   # radio went down mid-backoff (duty
+            return                 # cycle or fault silence): requeue
         pos = sender.position()
         if (self.config.csma_enabled
                 and attempt < self.config.max_csma_retries
@@ -467,6 +494,12 @@ class WirelessMedium:
             self.frames_lost_random += 1
             if self.on_drop is not None:
                 self.on_drop(receiver_id, tx.message, "loss")
+            return
+        if self.extra_loss is not None and \
+                self.extra_loss(tx.sender, receiver_id):
+            self.frames_lost_fault += 1
+            if self.on_drop is not None:
+                self.on_drop(receiver_id, tx.message, "fault-loss")
             return
         self.frames_delivered += 1
         if self.on_receive is not None:

@@ -34,6 +34,7 @@ class Node:
         self.speed_sensor = speed_sensor
         self.alive = False
         self.asleep = False
+        self._silence_depth = 0
         self.depleted = False
         self._started = False
         self._timers: List[Timer] = []
@@ -143,8 +144,9 @@ class Node:
 
     @property
     def listening(self) -> bool:
-        """Radio able to receive: powered, booted and not duty-cycled off."""
-        return self.alive and not self.asleep
+        """Radio able to receive: powered, booted, not duty-cycled off
+        and not fault-silenced."""
+        return self.alive and not self.asleep and not self.silenced
 
     def sleep(self) -> None:
         """Switch the radio off (duty cycle): deaf until :meth:`wake`,
@@ -152,7 +154,9 @@ class Node:
         if not self.alive or self.asleep:
             return
         self.asleep = True
-        if self.on_radio_state is not None:
+        # A silenced radio is already billed as sleeping; duty edges
+        # inside a silence window must not re-notify.
+        if not self.silenced and self.on_radio_state is not None:
             self.on_radio_state(self, "sleep")
 
     def wake(self) -> None:
@@ -161,12 +165,55 @@ class Node:
         if not self.alive or not self.asleep:
             return
         self.asleep = False
-        if self.on_radio_state is not None:
+        if not self.silenced and self.on_radio_state is not None:
             self.on_radio_state(self, "wake")
-        if self._deferred_sends:
+        self._flush_deferred()
+
+    def _flush_deferred(self) -> None:
+        """Put queued frames on the air, if the radio is actually up
+        (a waking node may still be fault-silenced, and vice versa)."""
+        if self._deferred_sends and self.listening:
             pending, self._deferred_sends = self._deferred_sends, []
             for message in pending:
                 self.medium.broadcast(self.id, message)
+
+    # -- fault injection (radio silence) ----------------------------------------------
+
+    @property
+    def silenced(self) -> bool:
+        """True while at least one fault-injected silence window is on.
+
+        Silence nests: two overlapping regional outages each call
+        :meth:`silence` / :meth:`unsilence` once, and the radio only
+        comes back when the *last* window lifts.
+        """
+        return self._silence_depth > 0
+
+    def silence(self) -> None:
+        """Open a fault-injected radio-silence window (outage/jamming):
+        deaf and mute like :meth:`sleep`, but orthogonal to duty
+        cycling — protocol state and timers survive, outbound frames
+        queue until the matching :meth:`unsilence`.  A no-op on a
+        crashed node (nothing to jam)."""
+        if not self.alive:
+            return
+        self._silence_depth += 1
+        # Bill the radio as sleeping unless the duty cycler already does.
+        if self._silence_depth == 1 and not self.asleep \
+                and self.on_radio_state is not None:
+            self.on_radio_state(self, "sleep")
+
+    def unsilence(self) -> None:
+        """Close one silence window; the radio returns (and queued
+        frames flush) when the last overlapping window has lifted."""
+        if self._silence_depth == 0:
+            return
+        self._silence_depth -= 1
+        if self._silence_depth > 0 or not self.alive:
+            return
+        if not self.asleep and self.on_radio_state is not None:
+            self.on_radio_state(self, "wake")
+        self._flush_deferred()
 
     # -- Host interface ----------------------------------------------------------------
 
@@ -181,11 +228,11 @@ class Node:
         return self._rng
 
     def send(self, message: Message) -> None:
-        """Broadcast ``message`` one hop (queued while asleep, dropped
-        while crashed)."""
+        """Broadcast ``message`` one hop (queued while asleep or
+        silenced, dropped while crashed)."""
         if not self.alive:
             return
-        if self.asleep:
+        if self.asleep or self.silenced:
             self._deferred_sends.append(message)
             return
         self.medium.broadcast(self.id, message)

@@ -17,6 +17,8 @@ import pytest
 
 from repro.core.config import FrugalConfig
 from repro.energy import EnergyConfig, PowerProfile
+from repro.faults import (ChurnConfig, FaultConfig, FaultEvent, FaultPlan,
+                          LinkLossConfig, RegionalOutage)
 from repro.harness.cache import (ResultCache, canonical, code_version_tag,
                                  config_digest)
 from repro.harness.scenario import (Publication, RandomWaypointSpec,
@@ -58,6 +60,28 @@ FIELD_CHANGES = {
     "speed_sensor": False,
     "energy": EnergyConfig(profile=PowerProfile.power_save(),
                            battery_capacity_j=25.0),
+    "faults": FaultConfig(churn=ChurnConfig(mean_session_s=60.0,
+                                            mean_rest_s=20.0)),
+}
+
+#: A fully-populated fault config plus one alternative value per
+#: FaultConfig field — each must flip the cache key, otherwise a sweep
+#: over churn rates / outage radii could silently reuse the wrong cell.
+FAULT_BASE = FaultConfig(
+    plan=FaultPlan((FaultEvent(at=5.0, kind="crash", fraction=0.5,
+                               duration=5.0),)),
+    churn=ChurnConfig(mean_session_s=60.0, mean_rest_s=20.0),
+    outages=(RegionalOutage(at=2.0, duration=10.0, center=(100.0, 100.0),
+                            radius_m=50.0),),
+    loss=LinkLossConfig(link_loss_min=0.1, link_loss_max=0.2))
+
+FAULT_FIELD_CHANGES = {
+    "plan": FaultPlan((FaultEvent(at=6.0, kind="crash", fraction=0.5,
+                                  duration=5.0),)),
+    "churn": ChurnConfig(mean_session_s=61.0, mean_rest_s=20.0),
+    "outages": (RegionalOutage(at=2.0, duration=10.0,
+                               center=(100.0, 100.0), radius_m=51.0),),
+    "loss": LinkLossConfig(link_loss_min=0.1, link_loss_max=0.25),
 }
 
 
@@ -99,6 +123,46 @@ class TestDigest:
     def test_canonical_rejects_unhashable_surprises(self):
         with pytest.raises(TypeError):
             canonical(object())
+
+    def test_fault_change_table_covers_every_field(self):
+        """A new FaultConfig field must come with a cache-key test."""
+        field_names = {f.name for f in dataclasses.fields(FaultConfig)}
+        assert field_names == set(FAULT_FIELD_CHANGES), \
+            "update FAULT_FIELD_CHANGES when FaultConfig gains/loses " \
+            "fields"
+
+    @pytest.mark.parametrize("field", sorted(FAULT_FIELD_CHANGES))
+    def test_any_fault_field_change_misses(self, field):
+        original = base_config(faults=FAULT_BASE)
+        changed_faults = dataclasses.replace(
+            FAULT_BASE, **{field: FAULT_FIELD_CHANGES[field]})
+        changed = base_config(faults=changed_faults)
+        assert changed != original, f"change table no-ops on {field!r}"
+        assert config_digest(changed) != config_digest(original)
+
+    def test_fault_subfield_changes_flip_the_key(self):
+        """Deep fields — a single churn rest length, one plan event's
+        instant, an outage radius — must all reach the digest."""
+        original = config_digest(base_config(faults=FAULT_BASE))
+        deep_variants = [
+            dataclasses.replace(FAULT_BASE, churn=ChurnConfig(
+                mean_session_s=60.0, mean_rest_s=21.0)),
+            dataclasses.replace(FAULT_BASE, plan=FaultPlan((
+                FaultEvent(at=5.0, kind="silence", fraction=0.5,
+                           duration=5.0),))),
+            dataclasses.replace(FAULT_BASE, loss=LinkLossConfig(
+                link_loss_min=0.1, link_loss_max=0.2,
+                burst_rate_per_s=0.1, burst_mean_duration_s=1.0)),
+        ]
+        for faults in deep_variants:
+            assert config_digest(base_config(faults=faults)) != original
+
+    def test_empty_faults_differs_from_none(self):
+        """faults=None and the no-op FaultConfig() produce identical
+        metrics but different summaries (extra columns), so they must
+        not share a cache entry."""
+        assert config_digest(base_config()) != \
+            config_digest(base_config(faults=FaultConfig()))
 
 
 class TestCacheRoundTrip:

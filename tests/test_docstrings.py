@@ -1,7 +1,8 @@
 """Docstring coverage enforcement for the public API surface.
 
 Mirrors the CI ``ruff check`` (pydocstyle rules D101/D102/D103) for the
-``repro.sim``, ``repro.net`` and ``repro.harness`` packages, so the
+``repro.sim``, ``repro.net``, ``repro.harness`` and ``repro.faults``
+packages, so the
 docs contract is enforced even where ruff is not installed: every public
 class, function, method and property in those trees must carry a
 docstring.  Private names (leading underscore) and dunders are exempt,
@@ -17,7 +18,8 @@ from typing import Iterator, List, Tuple
 
 import pytest
 
-DOCUMENTED_PACKAGES = ("repro.sim", "repro.net", "repro.harness")
+DOCUMENTED_PACKAGES = ("repro.sim", "repro.net", "repro.harness",
+                       "repro.faults")
 
 
 def _iter_modules(package_name: str) -> Iterator[object]:

@@ -9,12 +9,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness.experiments import (ALL_EXPERIMENTS, ablation_backoff,
-                                       ablation_gc, ablation_heartbeat,
-                                       ablation_ids, city_scenario, fig11,
-                                       fig13, fig15, frugality_comparison,
-                                       rwp_scenario)
-from repro.harness.presets import PAPER, QUICK, Scale, get_scale
+from repro.harness.experiments import (ALL_EXPERIMENTS, CHURN_PROTOCOLS,
+                                       ablation_backoff, ablation_gc,
+                                       ablation_heartbeat, ablation_ids,
+                                       ablation_outage, churn_resilience,
+                                       churn_scenario, city_scenario,
+                                       fig11, fig13, fig15,
+                                       frugality_comparison, rwp_scenario)
+from repro.harness.presets import PAPER, QUICK, SMOKE, Scale, get_scale
 
 TINY = Scale(
     name="tiny",
@@ -28,6 +30,7 @@ class TestPresets:
     def test_registry(self):
         assert get_scale("quick") is QUICK
         assert get_scale("paper") is PAPER
+        assert get_scale("smoke") is SMOKE
         with pytest.raises(ValueError):
             get_scale("huge")
 
@@ -147,9 +150,43 @@ class TestAblations:
         assert [r["id_exchange"] for r in result.rows] == [True, False]
 
 
+class TestChurnExperiments:
+    def test_churn_scenario_none_is_instrumented_noop(self):
+        cfg = churn_scenario(TINY, "frugal", None)
+        assert cfg.faults is not None
+        assert cfg.faults.churn is None and not cfg.faults.plan.events
+
+    def test_churn_resilience_shape_and_trends(self):
+        result = churn_resilience(TINY)
+        rates = sorted({r["churn_per_min"] for r in result.rows})
+        assert rates[0] == 0.0 and len(rates) == 3
+        assert {r["protocol"] for r in result.rows} == set(CHURN_PROTOCOLS)
+        for row in result.rows:
+            # Churn-aware denominators only remove unservable nodes.
+            assert row["churn_reliability"] >= row["reliability"] - 1e-12
+            if row["churn_per_min"] == 0.0:
+                assert row["availability"] == 1.0
+                assert row["downtime_s"] == 0.0
+            else:
+                assert row["availability"] < 1.0
+                assert row["downtime_s"] > 0.0
+
+    def test_outage_ablation_shape(self):
+        result = ablation_outage(TINY)
+        kinds = [r["outage"] for r in result.rows]
+        assert kinds[0] == "none"
+        assert set(kinds) == {"none", "silence", "crash"}
+        for row in result.rows:
+            if row["outage"] == "none":
+                assert row["availability"] == 1.0
+            else:
+                assert row["availability"] < 1.0
+
+
 class TestRegistry:
     def test_all_figures_and_ablations_registered(self):
         expected = {f"fig{i}" for i in range(11, 21)} | {
             "abl-gc", "abl-backoff", "abl-adaptive-hb", "abl-ids",
-            "abl-dutycycle", "related-work", "energy-lifetime"}
+            "abl-dutycycle", "abl-outage", "related-work",
+            "energy-lifetime", "churn-resilience"}
         assert set(ALL_EXPERIMENTS) == expected

@@ -22,11 +22,12 @@ class StubNode:
         self.pos = pos
         self.alive = True
         self.asleep = False
+        self.silenced = False
         self.received: List = []
 
     @property
     def listening(self) -> bool:
-        return self.alive and not self.asleep
+        return self.alive and not self.asleep and not self.silenced
 
     def position(self) -> Vec2:
         return self.pos

@@ -18,6 +18,8 @@ import pickle
 import pytest
 
 from repro.energy import DutyCycleConfig, EnergyConfig, PowerProfile
+from repro.faults import (ChurnConfig, FaultConfig, FaultEvent, FaultPlan,
+                          LinkLossConfig, RegionalOutage)
 from repro.harness import parallel
 from repro.harness.cache import ResultCache
 from repro.harness.experiments import frugality_comparison
@@ -68,13 +70,31 @@ def _rwp_energy() -> ScenarioConfig:
         duty_cycle=DutyCycleConfig.heartbeat_aligned(1.0, 0.5)))
 
 
+def _rwp_faults() -> ScenarioConfig:
+    """All four fault mechanisms at once: plan + churn + outage + loss."""
+    return _rwp_frugal().with_changes(faults=FaultConfig(
+        plan=FaultPlan((FaultEvent(at=5.0, kind="crash", fraction=0.25,
+                                   duration=10.0),)),
+        churn=ChurnConfig(mean_session_s=15.0, mean_rest_s=5.0,
+                          fraction=0.5),
+        outages=(RegionalOutage(at=8.0, duration=6.0,
+                                center=(450.0, 450.0), radius_m=250.0),),
+        loss=LinkLossConfig(link_loss_min=0.05, link_loss_max=0.15,
+                            burst_rate_per_s=0.05,
+                            burst_mean_duration_s=2.0,
+                            burst_loss_probability=0.8)))
+
+
 #: The determinism matrix: one config per scenario family, including an
-#: energy-instrumented one (whose summary carries the PR-1 energy fields).
+#: energy-instrumented one (whose summary carries the PR-1 energy fields)
+#: and a fully fault-instrumented one (plan + churn + outage + loss, the
+#: PR-4 availability fields).
 MATRIX = {
     "rwp-frugal": _rwp_frugal,
     "stationary-gossip": _stationary_gossip,
     "city-frugal": _city_frugal,
     "rwp-energy-dutycycle": _rwp_energy,
+    "rwp-churn-faults": _rwp_faults,
 }
 
 
@@ -106,6 +126,18 @@ class TestSerialParallelEquality:
                         "lifetime_s", "survivor_fraction",
                         "survivor_reliability"):
                 assert key in summary
+
+    def test_fault_summary_fields_survive_the_pool(self, pool):
+        multi = pool.run_seeds(_rwp_faults(), SEEDS[:2])
+        for result in multi.results:
+            summary = result.summary()
+            for key in ("availability", "churn_reliability",
+                        "recovery_latency_s", "downtime_s"):
+                assert key in summary
+            assert summary["availability"] < 1.0
+            # The full timeline crosses the process boundary intact.
+            assert result.faults is not None
+            assert result.faults.down_intervals
 
     def test_aggregates_equal_too(self, pool):
         config = _rwp_frugal()

@@ -260,10 +260,11 @@ class TestHistoryPruning:
             self.pos = pos
             self.alive = True
             self.asleep = False
+            self.silenced = False
 
         @property
         def listening(self):
-            return self.alive and not self.asleep
+            return self.alive and not self.asleep and not self.silenced
 
         def position(self):
             return self.pos
