@@ -17,10 +17,11 @@ sweep is computed once per scale and shared across those benchmarks via
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 import sys
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.harness import parallel
 from repro.harness.cache import ResultCache, default_cache_dir
@@ -106,6 +107,27 @@ def publish_text(text: str) -> None:
     replay alongside the figure tables."""
     print("\n" + text, flush=True)
     PUBLISHED.append(text)
+
+
+def publish_bench_json(name: str, rows: List[Dict],
+                       meta: Dict | None = None) -> pathlib.Path:
+    """Record a perf measurement in the repo's standard BENCH format.
+
+    The perf trajectory convention: every timing benchmark emits one
+    ``BENCH {...}`` line to stdout (greppable from any captured log) and
+    writes the same payload to ``benchmarks/results/<name>.json`` —
+    ``{"bench": name, "meta": {...}, "rows": [...]}`` with one flat dict
+    per measured cell.  Committed results files are the trajectory;
+    compare like against like (same scale, same machine class).
+    """
+    payload = {"bench": name, "meta": meta or {}, "rows": rows}
+    line = json.dumps(payload, sort_keys=True)
+    print(f"\nBENCH {line}", flush=True)
+    PUBLISHED.append(f"BENCH {line}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(line + "\n")
+    return path
 
 
 def publish(result: ExperimentResult) -> None:

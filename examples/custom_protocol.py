@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Compose your own dissemination protocol from the public stack layers.
+
+The protocol stack (:mod:`repro.core.stack`) splits every dissemination
+strategy into four swappable layers — membership, store, delivery,
+forwarding — and the registry (:mod:`repro.core.registry`) plugs any
+composition into the experiment harness by name.  This example builds
+**selective gossip**: the lpbcast-style gossip rounds of the built-in
+``gossip`` baseline, but with the frugal protocol's TTL membership bolted
+on so a node only spends a round when some *current* neighbour is
+interested — a hybrid no built-in offers, in ~80 lines, none of which
+touch the harness.
+
+Run::
+
+    python examples/custom_protocol.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import registry
+from repro.core.base import PubSubProtocol
+from repro.core.stack import (DeliveryLayer, EventStore, GossipForwarding,
+                              TTLMembership)
+from repro.harness import QUICK, run_matrix, rwp_scenario
+from repro.harness.reporting import format_table
+from repro.net.messages import EventBatch, Heartbeat
+
+
+class SelectiveGossip(PubSubProtocol):
+    """Gossip rounds, but only while an interested neighbour is around.
+
+    Composition: TTL membership (heartbeats + lazily pruned neighbour
+    view), a bounded FIFO digest buffer, exactly-once delivery, and
+    probabilistic gossip forwarding whose rounds this class gates on the
+    membership view.
+    """
+
+    def __init__(self, probability: float = 0.75, fanout: int = 8,
+                 buffer_capacity: int = 32):
+        # Defaults mirror the built-in GossipConfig, so the comparison
+        # below isolates exactly one variable: the membership gate.
+        super().__init__()
+        self.delivery = DeliveryLayer(self.counters)
+        self.membership = TTLMembership(
+            self.counters, heartbeat_period=1.0, ttl=2.5,
+            subscriptions=lambda: self.delivery.subscriptions,
+            jitter=0.05)
+        self.buffer = EventStore.bounded_fifo(buffer_capacity)
+        self.forwarding = GossipForwarding(
+            self.counters, period=1.0, jitter=0.05,
+            forward_probability=probability, fanout=fanout)
+        self._round_task = None
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, host) -> None:
+        super().attach(host)
+        self.delivery.attach(host)
+        self.membership.attach(host)
+        self.forwarding.attach(host, self.buffer)
+
+    def on_start(self) -> None:
+        self._running = True
+        self.membership.start()
+        # The gossip task is *not* started: rounds are driven manually
+        # from the membership-gated tick below.
+        self._round_task = self.host.periodic(1.0, self._gated_round,
+                                              jitter=0.05)
+
+    def on_stop(self) -> None:
+        self._running = False
+        self.membership.stop()
+        if self._round_task is not None:
+            self._round_task.stop()
+            self._round_task = None
+        self.buffer.clear()
+        self.delivery.reset()
+
+    # -- the hybrid: membership-gated gossip rounds -------------------------
+
+    def _gated_round(self) -> None:
+        now = self.host.now
+        self.buffer.purge_expired(now)
+        self.membership.prune(now)
+        rows = [row for row in self.buffer
+                if self.membership.any_interested(row.topic)]
+        if not rows:
+            return
+        if self.host.rng.random() >= self.forwarding.forward_probability:
+            return
+        newest = rows[-self.forwarding.fanout:]
+        self.forwarding.broadcast(tuple(row.event for row in newest))
+
+    # -- pub/sub surface ----------------------------------------------------
+
+    @property
+    def subscriptions(self):
+        return self.delivery.subscriptions
+
+    def subscribe(self, topic) -> None:
+        self.delivery.subscribe(topic)
+
+    def unsubscribe(self, topic) -> None:
+        self.delivery.unsubscribe(topic)
+
+    def publish(self, event) -> None:
+        host = self._require_attached()
+        self.buffer.store(event, host.now)
+        self.delivery.deliver_once(event)
+        self.forwarding.broadcast((event,))
+
+    def on_message(self, message) -> None:
+        if not self._running:
+            return
+        if isinstance(message, Heartbeat):
+            self.membership.on_heartbeat(message)
+            return
+        if not isinstance(message, EventBatch):
+            return
+        now = self.host.now
+        for event in message.events:
+            subscribed = self.delivery.matches(event.topic)
+            if not subscribed:
+                self.counters.parasites_dropped += 1
+            if event.event_id in self.buffer:
+                if subscribed:
+                    self.counters.duplicates_dropped += 1
+                continue
+            if not event.is_valid(now):
+                continue
+            self.buffer.store(event, now)
+            if subscribed:
+                self.delivery.deliver_once(event)
+
+
+def main(seed: int = 0) -> None:
+    """Register the custom stack and race it against two built-ins."""
+    registry.register("selective-gossip", lambda cfg: SelectiveGossip(),
+                      description="example: membership-gated gossip",
+                      replace=True)
+    try:
+        scale = QUICK.with_seed_base(seed)
+        protocols = ["frugal", "gossip", "selective-gossip"]
+        # 20 % subscribers: most neighbourhoods contain no interested
+        # node, which is exactly when gating rounds on membership pays
+        # off.
+        configs = {
+            proto: rwp_scenario(scale, 10.0, 10.0, validity=120.0,
+                                interest=0.2, n_events=5,
+                                protocol=proto, duration=120.0)
+            for proto in protocols
+        }
+        print(f"Custom protocol 'selective-gossip' vs two built-ins "
+              f"({scale.rwp_processes} processes, 20% subscribers, "
+              f"{len(scale.seed_list())} seeds)\n")
+        outcomes = run_matrix(configs, scale.seed_list())
+
+        rows = []
+        for proto in protocols:
+            summary = outcomes[proto].summary()
+            rows.append({
+                "protocol": proto,
+                "reliability": round(summary["reliability"].mean, 3),
+                "bandwidth [kB]": round(
+                    summary["bandwidth_bytes"].mean / 1000.0, 2),
+                "duplicates": round(summary["duplicates"].mean, 1),
+                "parasites": round(summary["parasites"].mean, 1),
+            })
+        print(format_table(rows))
+
+        blind = rows[1]
+        gated = rows[2]
+        if gated["bandwidth [kB]"] > 0:
+            factor = blind["bandwidth [kB]"] / gated["bandwidth [kB]"]
+            print(f"\nMembership gating changes selective-gossip's "
+                  f"airtime by {factor:.1f}x vs blind gossip on this "
+                  f"scenario (heartbeats included in its bill).")
+    finally:
+        registry.unregister("selective-gossip")
+
+
+if __name__ == "__main__":
+    main(seed=int(sys.argv[1]) if len(sys.argv) > 1 else 0)

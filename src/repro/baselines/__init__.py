@@ -1,10 +1,18 @@
-"""The paper's three flooding comparators (Section 5.2, "Frugality").
+"""The dissemination strategies the frugal protocol is compared against.
 
-The paper quantifies frugality by comparing its protocol against three
-flooding variants on identical scenarios: simple flooding (everything,
-always), interests-aware flooding (only events the process wants) and
+The paper quantifies frugality against three flooding variants on
+identical scenarios (Section 5.2): simple flooding (everything, always),
+interests-aware flooding (only events the process wants) and
 neighbors'-interests flooding (only events the process wants *and* some
-neighbour wants).  All three rebroadcast on a 1-second period.
+neighbour wants), all rebroadcasting on a 1-second period.  Section 6
+adds the broadcast-storm schemes (probabilistic and counter-based
+one-shot forwarding), and the stack refactor contributed an
+lpbcast-style gossip baseline (periodic probabilistic rounds over a
+bounded digest buffer).
+
+Importing this package registers every baseline in the protocol registry
+(:mod:`repro.core.registry`), alongside the frozen pre-stack reference
+implementations (hidden entries, used by the paired-equality suite).
 """
 
 from repro.baselines.base import FloodingProtocol
@@ -12,6 +20,9 @@ from repro.baselines.simple_flooding import SimpleFlooding
 from repro.baselines.interest_flooding import InterestAwareFlooding
 from repro.baselines.neighbor_flooding import NeighborInterestFlooding
 from repro.baselines.storm import CounterFlooding, GossipFlooding
+from repro.baselines.gossip import GossipConfig, GossipPubSub
+from repro.baselines import reference
+from repro.core import registry
 
 __all__ = [
     "FloodingProtocol",
@@ -20,4 +31,77 @@ __all__ = [
     "NeighborInterestFlooding",
     "GossipFlooding",
     "CounterFlooding",
+    "GossipConfig",
+    "GossipPubSub",
 ]
+
+
+def _register_builtins() -> None:
+    """Install the baseline strategies into the default registry.
+
+    Factories receive the full :class:`~repro.harness.scenario
+    .ScenarioConfig` (duck-typed) and read only the fields they need, so
+    paired sweeps can vary one protocol's knobs without perturbing the
+    others.  Idempotent: re-imports re-register identical entries.
+    """
+    registry.register(
+        "simple-flooding",
+        lambda c: SimpleFlooding(flood_period=c.flood_period),
+        description="flood everything every second, interests ignored",
+        replace=True)
+    registry.register(
+        "interest-flooding",
+        lambda c: InterestAwareFlooding(flood_period=c.flood_period),
+        description="flood only events the process subscribed to",
+        replace=True)
+    registry.register(
+        "neighbor-flooding",
+        lambda c: NeighborInterestFlooding(flood_period=c.flood_period),
+        description="flood subscribed events while an interested "
+                    "neighbour exists",
+        replace=True)
+    registry.register(
+        "gossip-flooding",
+        lambda c: GossipFlooding(probability=c.gossip_probability),
+        description="one-shot probabilistic broadcast-storm scheme",
+        replace=True)
+    registry.register(
+        "counter-flooding",
+        lambda c: CounterFlooding(threshold=c.counter_threshold),
+        description="one-shot counter-based broadcast-storm scheme",
+        replace=True)
+    registry.register(
+        "gossip",
+        lambda c: GossipPubSub(c.gossip),
+        description="lpbcast-style periodic gossip over a bounded "
+                    "digest buffer",
+        replace=True)
+    # Frozen pre-stack monoliths: valid protocol names (the paired
+    # bit-identity suite runs them through the full harness, including
+    # parallel workers) but hidden from protocol sweeps.
+    registry.register(
+        "legacy-frugal",
+        lambda c: reference.ReferenceFrugalPubSub(c.frugal),
+        description="pre-stack frugal monolith (verification reference)",
+        hidden=True, replace=True)
+    registry.register(
+        "legacy-simple-flooding",
+        lambda c: reference.ReferenceSimpleFlooding(
+            flood_period=c.flood_period),
+        description="pre-stack simple flooder (verification reference)",
+        hidden=True, replace=True)
+    registry.register(
+        "legacy-interest-flooding",
+        lambda c: reference.ReferenceInterestAwareFlooding(
+            flood_period=c.flood_period),
+        description="pre-stack interest flooder (verification reference)",
+        hidden=True, replace=True)
+    registry.register(
+        "legacy-neighbor-flooding",
+        lambda c: reference.ReferenceNeighborInterestFlooding(
+            flood_period=c.flood_period),
+        description="pre-stack neighbour flooder (verification reference)",
+        hidden=True, replace=True)
+
+
+_register_builtins()

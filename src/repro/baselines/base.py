@@ -11,21 +11,31 @@ stores and re-floods:
   *and* at least one current neighbour is interested in (which requires
   heartbeats to learn neighbour interests).
 
-Common behaviour lives here: the periodic flood task, local storage with
-validity-based expiry, delivery to the application and duplicate dropping.
-Storage is *unbounded by default* — memory thrift is precisely what the
-frugal protocol adds; the paper's comparison charges the baselines their
-natural cost.
+The common behaviour is a composition of the :mod:`repro.core.stack`
+layers: an unbounded :class:`~repro.core.stack.store.EventStore` (memory
+thrift is precisely what the frugal protocol adds; the paper's comparison
+charges the baselines their natural cost), the
+:class:`~repro.core.stack.delivery.DeliveryLayer` for app hand-off and
+duplicate/parasite accounting, and
+:class:`~repro.core.stack.forwarding.PeriodicFloodForwarding` for the
+1-second rebroadcast tick.  Subclasses only supply the
+:meth:`_should_store` / :meth:`_should_flood` predicates.  Behaviour is
+bit-identical to the pre-stack monolith
+(:class:`repro.baselines.reference.ReferenceFloodingProtocol`), proven by
+``tests/test_stack_equivalence.py``.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import FrozenSet, Set
 
 from repro.core.base import PubSubProtocol
 from repro.core.events import Event, EventId
-from repro.core.topics import Topic, subscription_matches_event
+from repro.core.stack.delivery import DeliveryLayer
+from repro.core.stack.forwarding import PeriodicFloodForwarding
+from repro.core.stack.store import EventStore
+from repro.core.topics import Topic
 from repro.net.messages import EventBatch, Heartbeat, Message
 
 
@@ -47,55 +57,65 @@ class FloodingProtocol(PubSubProtocol):
             raise ValueError(f"flood_period must be positive: {flood_period}")
         self.flood_period = float(flood_period)
         self.flood_jitter = float(flood_jitter)
-        self._subscriptions: Set[Topic] = set()
-        self._store: Dict[EventId, Event] = {}
-        self._delivered: Set[EventId] = set()
-        self._flood_task = None
+        self.delivery = DeliveryLayer(self.counters)
+        self.store = EventStore.unbounded()
+        self.forwarding = PeriodicFloodForwarding(
+            self.counters, self.flood_period, self.flood_jitter,
+            self._should_flood)
         self._running = False
-        # Counters symmetrical with FrugalPubSub's, for reporting.
-        self.batches_sent = 0
-        self.events_forwarded = 0
-        self.delivered_count = 0
-        self.duplicates_dropped = 0
-        self.parasites_dropped = 0
 
     # -- application-facing API ------------------------------------------------
 
     @property
     def subscriptions(self) -> FrozenSet[Topic]:
-        return frozenset(self._subscriptions)
+        """Current subscription set."""
+        return self.delivery.subscriptions
 
     def subscribe(self, topic: Topic | str) -> None:
-        self._subscriptions.add(Topic(topic))
+        """Register interest in ``topic`` and its subtopics."""
+        self.delivery.subscribe(topic)
 
     def unsubscribe(self, topic: Topic | str) -> None:
-        self._subscriptions.discard(Topic(topic))
+        """Drop a subscription."""
+        self.delivery.unsubscribe(topic)
 
     def publish(self, event: Event) -> None:
-        if self.host is None:
-            raise RuntimeError("protocol is not attached to a host")
-        self._store[event.event_id] = event
-        self._deliver_if_subscribed(event)
-        self._flood_now([event])
+        """Store, deliver locally and flood immediately."""
+        host = self._require_attached()
+        self.store.store(event, host.now)
+        self.delivery.deliver_once(event)
+        self.forwarding.flood_now([event])
 
     # -- lifecycle -----------------------------------------------------------------
 
+    def attach(self, host) -> None:
+        """Bind to a host: wire the delivery and forwarding layers."""
+        super().attach(host)
+        self.delivery.attach(host)
+        self.forwarding.attach(host, self.store)
+
+    def detach(self) -> None:
+        """Sever the host binding on every layer (stop first)."""
+        super().detach()
+        self.delivery.detach()
+        self.forwarding.detach()
+
     def on_start(self) -> None:
+        """Boot: arm the periodic flood task."""
         self._running = True
-        self._flood_task = self.host.periodic(
-            self.flood_period, self._flood_tick, jitter=self.flood_jitter)
+        self.forwarding.start()
 
     def on_stop(self) -> None:
+        """Crash/shutdown: stop flooding, lose store and history."""
         self._running = False
-        if self._flood_task is not None:
-            self._flood_task.stop()
-            self._flood_task = None
-        self._store.clear()
-        self._delivered.clear()
+        self.forwarding.stop()
+        self.store.clear()
+        self.delivery.reset()
 
     # -- network-facing API ------------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
+        """Dispatch a received frame by message kind."""
         if not self._running:
             return
         if isinstance(message, EventBatch):
@@ -109,47 +129,19 @@ class FloodingProtocol(PubSubProtocol):
     def _on_event_batch(self, msg: EventBatch) -> None:
         now = self.host.now
         for event in msg.events:
-            subscribed = subscription_matches_event(self._subscriptions,
-                                                    event.topic)
+            subscribed = self.delivery.matches(event.topic)
             if not subscribed:
-                self.parasites_dropped += 1
-            if event.event_id in self._store:
+                self.counters.parasites_dropped += 1
+            if event.event_id in self.store:
                 if subscribed:
-                    self.duplicates_dropped += 1
+                    self.counters.duplicates_dropped += 1
                 continue
             if not event.is_valid(now):
                 continue
             if self._should_store(event, subscribed):
-                self._store[event.event_id] = event
+                self.store.store(event, now)
             if subscribed:
-                self._deliver_if_subscribed(event)
-
-    # -- flooding ------------------------------------------------------------------------
-
-    def _flood_tick(self) -> None:
-        now = self.host.now
-        # Expired events leave the store for good (they are of no use).
-        expired = [eid for eid, e in self._store.items()
-                   if not e.is_valid(now)]
-        for eid in expired:
-            del self._store[eid]
-        outgoing = [e for e in self._store.values() if self._should_flood(e)]
-        if outgoing:
-            self._flood_now(outgoing)
-
-    def _flood_now(self, events: List[Event]) -> None:
-        self.host.send(EventBatch(sender=self.host.id,
-                                  events=tuple(events)))
-        self.batches_sent += 1
-        self.events_forwarded += len(events)
-
-    def _deliver_if_subscribed(self, event: Event) -> None:
-        if event.event_id in self._delivered:
-            return
-        if subscription_matches_event(self._subscriptions, event.topic):
-            self._delivered.add(event.event_id)
-            self.delivered_count += 1
-            self.host.deliver(event)
+                self.delivery.deliver_once(event)
 
     # -- variant hooks -----------------------------------------------------------------------
 
@@ -165,8 +157,9 @@ class FloodingProtocol(PubSubProtocol):
 
     @property
     def stored_event_ids(self) -> Set[EventId]:
-        return set(self._store)
+        """Ids of every currently stored event."""
+        return self.store.event_ids()
 
     def __repr__(self) -> str:   # pragma: no cover - debugging aid
-        return (f"<{type(self).__name__} store={len(self._store)} "
-                f"sent={self.batches_sent}>")
+        return (f"<{type(self).__name__} store={len(self.store)} "
+                f"sent={self.counters.batches_sent}>")

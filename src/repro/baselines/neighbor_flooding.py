@@ -2,29 +2,21 @@
 
 "A process propagates an event to its neighbors only if the process itself
 and its neighbors are interested in the event" (Section 5.2).  This variant
-sends heartbeats (like the frugal protocol's phase 1) to learn neighbour
-interests, and on each flood tick only re-floods events for which at least
-one *current* neighbour is interested.  Broadcast still reaches
-uninterested bystanders — which is why Fig. 20 shows it with a non-zero
-parasite count — but a process surrounded by no interested neighbour stays
-silent.
+adds the stack's :class:`~repro.core.stack.membership.TTLMembership`
+layer — fixed-period heartbeats (like the frugal protocol's phase 1) and a
+lazily TTL-pruned neighbour view — and on each flood tick only re-floods
+events for which at least one *current* neighbour is interested.
+Broadcast still reaches uninterested bystanders — which is why Fig. 20
+shows it with a non-zero parasite count — but a process surrounded by no
+interested neighbour stays silent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet
-
 from repro.baselines.base import FloodingProtocol
 from repro.core.events import Event
-from repro.core.topics import Topic, subscription_matches_event
+from repro.core.stack.membership import TTLMembership
 from repro.net.messages import Heartbeat
-
-
-@dataclass
-class _NeighborInterests:
-    subscriptions: FrozenSet[Topic]
-    heard_at: float
 
 
 class NeighborInterestFlooding(FloodingProtocol):
@@ -35,54 +27,34 @@ class NeighborInterestFlooding(FloodingProtocol):
                  heartbeat_period: float = 1.0,
                  neighbor_ttl: float = 2.5):
         super().__init__(flood_period=flood_period, flood_jitter=flood_jitter)
-        if heartbeat_period <= 0:
-            raise ValueError("heartbeat_period must be positive")
-        if neighbor_ttl <= 0:
-            raise ValueError("neighbor_ttl must be positive")
-        self.heartbeat_period = float(heartbeat_period)
-        self.neighbor_ttl = float(neighbor_ttl)
-        self._neighbors: Dict[int, _NeighborInterests] = {}
-        self._hb_task = None
-        self.heartbeats_sent = 0
+        self.membership = TTLMembership(
+            self.counters, heartbeat_period, neighbor_ttl,
+            subscriptions=lambda: self.subscriptions,
+            jitter=self.flood_jitter)
+        self.heartbeat_period = self.membership.heartbeat_period
+        self.neighbor_ttl = self.membership.ttl
 
     # -- lifecycle -------------------------------------------------------------
 
+    def attach(self, host) -> None:
+        """Bind to a host: also wire the membership layer."""
+        super().attach(host)
+        self.membership.attach(host)
+
+    def detach(self) -> None:
+        """Sever the host binding on every layer (stop first)."""
+        super().detach()
+        self.membership.detach()
+
     def on_start(self) -> None:
+        """Boot: flood task first, then the heartbeat task."""
         super().on_start()
-        self._hb_task = self.host.periodic(
-            self.heartbeat_period, self._heartbeat_tick,
-            jitter=self.flood_jitter)
+        self.membership.start()
 
     def on_stop(self) -> None:
+        """Crash/shutdown: also stop beaconing, forget neighbours."""
         super().on_stop()
-        if self._hb_task is not None:
-            self._hb_task.stop()
-            self._hb_task = None
-        self._neighbors.clear()
-
-    # -- neighbourhood tracking ---------------------------------------------------
-
-    def _heartbeat_tick(self) -> None:
-        self.host.send(Heartbeat(sender=self.host.id,
-                                 subscriptions=self.subscriptions,
-                                 speed=None))
-        self.heartbeats_sent += 1
-
-    def _on_heartbeat(self, hb: Heartbeat) -> None:
-        self._neighbors[hb.sender] = _NeighborInterests(
-            subscriptions=hb.subscriptions, heard_at=self.host.now)
-
-    def _prune_neighbors(self) -> None:
-        horizon = self.host.now - self.neighbor_ttl
-        stale = [nid for nid, info in self._neighbors.items()
-                 if info.heard_at < horizon]
-        for nid in stale:
-            del self._neighbors[nid]
-
-    def _neighbor_interested(self, event: Event) -> bool:
-        return any(
-            subscription_matches_event(info.subscriptions, event.topic)
-            for info in self._neighbors.values())
+        self.membership.stop()
 
     # -- variant hooks ----------------------------------------------------------------
 
@@ -90,5 +62,8 @@ class NeighborInterestFlooding(FloodingProtocol):
         return subscribed
 
     def _should_flood(self, event: Event) -> bool:
-        self._prune_neighbors()
-        return self._neighbor_interested(event)
+        self.membership.prune(self.host.now)
+        return self.membership.any_interested(event.topic)
+
+    def _on_heartbeat(self, hb: Heartbeat) -> None:
+        self.membership.on_heartbeat(hb)

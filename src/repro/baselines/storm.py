@@ -33,11 +33,6 @@ class _OneShotRebroadcast(PubSubProtocol):
         self._subscriptions: Set[Topic] = set()
         self._seen: Set[EventId] = set()
         self._running = False
-        self.batches_sent = 0
-        self.events_forwarded = 0
-        self.delivered_count = 0
-        self.duplicates_dropped = 0
-        self.parasites_dropped = 0
 
     # -- application-facing API ----------------------------------------------
 
@@ -76,10 +71,10 @@ class _OneShotRebroadcast(PubSubProtocol):
             subscribed = subscription_matches_event(self._subscriptions,
                                                     event.topic)
             if not subscribed:
-                self.parasites_dropped += 1
+                self.counters.parasites_dropped += 1
             if event.event_id in self._seen:
                 if subscribed:
-                    self.duplicates_dropped += 1
+                    self.counters.duplicates_dropped += 1
                 self._on_duplicate(event)
                 continue
             self._seen.add(event.event_id)
@@ -91,15 +86,15 @@ class _OneShotRebroadcast(PubSubProtocol):
 
     def _deliver_if_subscribed(self, event: Event) -> None:
         if subscription_matches_event(self._subscriptions, event.topic):
-            self.delivered_count += 1
+            self.counters.delivered_count += 1
             self.host.deliver(event)
 
     def _broadcast(self, event: Event) -> None:
         if not event.is_valid(self.host.now):
             return
         self.host.send(EventBatch(sender=self.host.id, events=(event,)))
-        self.batches_sent += 1
-        self.events_forwarded += 1
+        self.counters.batches_sent += 1
+        self.counters.events_forwarded += 1
 
     # -- scheme hooks --------------------------------------------------------------------
 

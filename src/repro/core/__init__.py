@@ -14,9 +14,13 @@ Layout:
 * :mod:`repro.core.config` — protocol tunables (HBDelay, x, HB2BO, HB2NGC
   and friends, Section 4/5.1),
 * :mod:`repro.core.base` — the protocol/host interfaces shared with the
-  flooding baselines,
+  flooding baselines, plus the unified per-stack counters,
+* :mod:`repro.core.stack` — the composable membership / store /
+  delivery / forwarding layers every protocol is assembled from,
+* :mod:`repro.core.registry` — the string-keyed protocol registry the
+  harness dispatches through,
 * :mod:`repro.core.protocol` — the three-phase frugal dissemination
-  algorithm itself (Sections 4.2-4.4).
+  algorithm itself (Sections 4.2-4.4), composed from the stack layers.
 """
 
 from repro.core.topics import Topic, TopicError, covers, related
@@ -26,7 +30,8 @@ from repro.core.tables import (NeighborhoodTable, NeighborEntry, EventTable,
                                EventTableFull)
 from repro.core.gc import (EvictionPolicy, ValidityForwardPolicy, FifoPolicy,
                            RandomPolicy, RemainingValidityPolicy, gc_score)
-from repro.core.base import PubSubProtocol, Host
+from repro.core.base import PubSubProtocol, Host, ProtocolCounters
+from repro.core.registry import ProtocolEntry, ProtocolRegistry, REGISTRY
 from repro.core.protocol import FrugalPubSub
 
 __all__ = [
@@ -49,5 +54,9 @@ __all__ = [
     "gc_score",
     "PubSubProtocol",
     "Host",
+    "ProtocolCounters",
+    "ProtocolEntry",
+    "ProtocolRegistry",
+    "REGISTRY",
     "FrugalPubSub",
 ]

@@ -1,24 +1,33 @@
 """The frugal event-dissemination protocol (paper Sections 3-4).
 
-Three phases, all implemented here:
+Three phases, composed from the :mod:`repro.core.stack` layers:
 
-1. **Neighbourhood detection** — a periodic heartbeat task broadcasts
-   ``(id, subscriptions, [speed])``.  Receivers with *matching*
-   subscriptions store the sender in their neighbourhood table and, on
-   first detection, broadcast the identifiers of the still-valid events
-   they hold for the shared topics.  Heartbeat reception also re-derives
-   the adaptive delays (``computeHBDelay``/``computeNGCDelay``, Fig. 8).
-2. **Dissemination** — knowing which events each matching neighbour holds,
-   a process computes the events some neighbour is entitled to but lacks
-   (``retrieveEventsToSend``, Fig. 7), arms a back-off inversely
-   proportional to how much it has to offer, and on expiry *recomputes*
-   and broadcasts the still-needed events together with its neighbour-id
-   list.  Overhearers use that list to update their own view, suppressing
-   redundant retransmissions; receiving an event of interest cancels a
-   pending back-off outright.
-3. **Garbage collection** — a periodic task drops stale neighbourhood rows;
-   the bounded event table evicts expired events first, then applies
-   Equation 1 (see :mod:`repro.core.gc`).
+1. **Neighbourhood detection** — :class:`HeartbeatMembership`: a periodic
+   heartbeat task broadcasts ``(id, subscriptions, [speed])``.  Receivers
+   with *matching* subscriptions store the sender in their neighbourhood
+   table and, on first detection, this class broadcasts the identifiers
+   of the still-valid events it holds for the shared topics.  Heartbeat
+   reception also re-derives the adaptive delays
+   (``computeHBDelay``/``computeNGCDelay``, Fig. 8).
+2. **Dissemination** — :class:`BackoffForwarding`: knowing which events
+   each matching neighbour holds, a process computes the events some
+   neighbour is entitled to but lacks (``retrieveEventsToSend``, Fig. 7),
+   arms a back-off inversely proportional to how much it has to offer,
+   and on expiry *recomputes* and broadcasts the still-needed events
+   together with its neighbour-id list.  Overhearers use that list to
+   update their own view, suppressing redundant retransmissions;
+   receiving an event of interest cancels a pending back-off outright.
+3. **Garbage collection** — the membership layer's periodic task drops
+   stale neighbourhood rows; the bounded :class:`EventStore` evicts
+   expired events first, then applies Equation 1 (see
+   :mod:`repro.core.gc`).
+
+This class is the *composition root*: it owns one instance of each layer
+plus the shared counters, and keeps only the cross-layer glue (publish,
+batch reception, the id-announcement on a new neighbour).  The behaviour
+is bit-identical to the pre-stack monolith — same RNG draw order, same
+timer ordering — which ``tests/test_stack_equivalence.py`` proves
+against the frozen copy in :mod:`repro.baselines.reference`.
 
 Fidelity deviations (documented in DESIGN.md, "Pseudocode fidelity notes"):
 
@@ -38,15 +47,17 @@ Fidelity deviations (documented in DESIGN.md, "Pseudocode fidelity notes"):
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Set
+from typing import FrozenSet, Optional
 
+from repro.core import registry
 from repro.core.base import PubSubProtocol
 from repro.core.config import FrugalConfig
-from repro.core.events import Event, EventId
-from repro.core.gc import make_policy
-from repro.core.tables import EventTable, NeighborhoodTable
-from repro.core.topics import (Topic, subscription_matches_event,
-                               subscriptions_related)
+from repro.core.events import Event
+from repro.core.stack.delivery import DeliveryLayer
+from repro.core.stack.forwarding import BackoffForwarding
+from repro.core.stack.membership import HeartbeatMembership
+from repro.core.stack.store import EventStore
+from repro.core.topics import Topic
 from repro.net.messages import EventBatch, EventIdList, Heartbeat, Message
 
 
@@ -56,70 +67,69 @@ class FrugalPubSub(PubSubProtocol):
     def __init__(self, config: Optional[FrugalConfig] = None):
         super().__init__()
         self.config = config or FrugalConfig()
-        self._subscriptions: Set[Topic] = set()
-        self.neighborhood = NeighborhoodTable(
-            capacity=self.config.neighborhood_capacity)
-        self.events: Optional[EventTable] = None   # built on attach (needs rng)
+        self.delivery = DeliveryLayer(self.counters)
+        self.membership = HeartbeatMembership(
+            self.config, self.counters,
+            advertised=self.advertised_topics,
+            on_new_neighbor=self._on_new_neighbor)
+        self.forwarding = BackoffForwarding(self.config, self.counters,
+                                            self.membership)
+        self.events: Optional[EventStore] = None   # built on attach (needs rng)
         self._running = False
-        self._hb_delay = self.config.hb_delay
-        self._hb_task = None
-        self._ngc_task = None
-        self._backoff_timer = None
-        self._bo_delay: Optional[float] = None      # the paper's "BODelay"
-        # Observability counters (protocol-level; the metrics collector
-        # counts independently at the medium level).
-        self.heartbeats_sent = 0
-        self.id_lists_sent = 0
-        self.batches_sent = 0
-        self.events_forwarded = 0
-        self.delivered_count = 0
-        self.duplicates_dropped = 0
-        self.parasites_dropped = 0
 
     # -- lifecycle -----------------------------------------------------------------
 
     def attach(self, host) -> None:
+        """Bind to a host: wire every layer, build the rng-backed store."""
         super().attach(host)
-        self.events = EventTable(
-            capacity=self.config.event_table_capacity,
-            policy=make_policy(self.config.eviction_policy),
-            rng=host.rng)
+        self.events = EventStore.from_config(self.config, host.rng)
+        self.delivery.attach(host)
+        self.membership.attach(host)
+        self.forwarding.attach(host, self.events)
+
+    def detach(self) -> None:
+        """Sever the host binding on every layer (stop first)."""
+        super().detach()
+        self.delivery.detach()
+        self.membership.detach()
+        self.forwarding.detach()
 
     def on_start(self) -> None:
+        """Boot: reset the heartbeat period and arm the tasks."""
         self._running = True
-        self._hb_delay = min(self.config.hb_delay,
-                             self.config.hb_upper_bound)
-        self._update_tasks()
+        self.membership.start()
 
     def on_stop(self) -> None:
+        """Crash/shutdown: stop tasks, lose all volatile state.
+
+        Volatile state is lost on crash: a recovered process rebuilds
+        its view from scratch (Section 2 allows crash/recover at any
+        time).  The lifetime counters survive.
+        """
         self._running = False
-        self._stop_tasks()
-        self._cancel_backoff()
-        # Volatile state is lost on crash: a recovered process rebuilds its
-        # view from scratch (Section 2 allows crash/recover at any time).
-        self.neighborhood = NeighborhoodTable(
-            capacity=self.config.neighborhood_capacity)
-        if self.host is not None:
-            self.events = EventTable(
-                capacity=self.config.event_table_capacity,
-                policy=make_policy(self.config.eviction_policy),
-                rng=self.host.rng)
+        self.membership.stop()
+        self.forwarding.cancel()
+        self.membership.reset()
+        if self.events is not None:
+            self.events.clear()
+        self.delivery.reset()
 
     # -- application-facing API -------------------------------------------------------
 
     @property
     def subscriptions(self) -> FrozenSet[Topic]:
-        return frozenset(self._subscriptions)
+        """Current subscription set."""
+        return self.delivery.subscriptions
 
     def subscribe(self, topic: Topic | str) -> None:
         """Register interest in ``topic`` and its subtopics (Fig. 5)."""
-        self._subscriptions.add(Topic(topic))
-        self._update_tasks()
+        self.delivery.subscribe(topic)
+        self.membership.update_tasks()
 
     def unsubscribe(self, topic: Topic | str) -> None:
         """Drop a subscription; tasks stop when nothing is advertised."""
-        self._subscriptions.discard(Topic(topic))
-        self._update_tasks()
+        self.delivery.unsubscribe(topic)
+        self.membership.update_tasks()
 
     def publish(self, event: Event) -> None:
         """Inject a locally produced event (Fig. 9, ``publish``).
@@ -129,34 +139,27 @@ class FrugalPubSub(PubSubProtocol):
         way it remains available for dissemination at future encounters
         until its validity period ends.
         """
-        self._require_attached()
+        self._require_frugal_attached()
         now = self.host.now
         interested = self.neighborhood.interested_in(event.topic)
         if interested:
-            neighbor_ids = tuple(self.neighborhood.ids())
-            self.host.send(EventBatch(sender=self.host.id,
-                                      events=(event,),
-                                      neighbor_ids=neighbor_ids))
-            self.batches_sent += 1
-            self.events_forwarded += 1
-            for nid in neighbor_ids:
-                self.neighborhood.record_known_event(nid, event.event_id)
+            self.forwarding.send_batch((event,))
         row = self.events.store(event, now)
         if interested:
             row.forward_count += 1
         if not row.delivered:
             row.delivered = True
-            self.delivered_count += 1
-            self.host.deliver(event)
-        self._update_tasks()       # a pure publisher starts advertising now
+            self.delivery.hand_off(event)
+        self.membership.update_tasks()   # a pure publisher advertises now
 
     # -- network-facing API --------------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
+        """Dispatch a received frame to the layer that handles its kind."""
         if not self._running:
             return
         if isinstance(message, Heartbeat):
-            self._on_heartbeat(message)
+            self.membership.on_heartbeat(message)
         elif isinstance(message, EventIdList):
             self._on_event_id_list(message)
         elif isinstance(message, EventBatch):
@@ -164,11 +167,11 @@ class FrugalPubSub(PubSubProtocol):
         # Unknown message kinds are ignored: the medium is shared with
         # whatever other protocols the simulation mixes in.
 
-    # -- phase 1: neighbourhood detection ---------------------------------------------------
+    # -- phase 1 glue: id announcements -----------------------------------------------------
 
     def advertised_topics(self) -> FrozenSet[Topic]:
         """Subscriptions plus the topics of own still-valid publications."""
-        topics = set(self._subscriptions)
+        topics = set(self.delivery.subscriptions)
         if self.events is not None and self.host is not None:
             now = self.host.now
             own = self.host.id
@@ -176,16 +179,6 @@ class FrugalPubSub(PubSubProtocol):
                 row.topic for row in self.events
                 if row.event_id.publisher == own and row.is_valid(now))
         return frozenset(topics)
-
-    def _on_heartbeat(self, hb: Heartbeat) -> None:
-        mine = self.advertised_topics()
-        if mine and subscriptions_related(mine, hb.subscriptions):
-            is_new = hb.sender not in self.neighborhood
-            self.neighborhood.upsert(hb.sender, hb.subscriptions,
-                                     hb.speed, self.host.now)
-            if is_new:
-                self._on_new_neighbor(hb.sender, hb.subscriptions)
-        self._recompute_delays()
 
     def _on_new_neighbor(self, neighbor_id: int,
                          their_subs: FrozenSet[Topic]) -> None:
@@ -197,12 +190,12 @@ class FrugalPubSub(PubSubProtocol):
         neighbour would never offer anything.
         """
         if not self.config.announce_on_new_neighbor:
-            self._retrieve_events_to_send()
+            self.forwarding.retrieve()
             return
         ids = self.events.valid_ids_for(their_subs, self.host.now)
         self.host.send(EventIdList(sender=self.host.id,
                                    event_ids=tuple(ids)))
-        self.id_lists_sent += 1
+        self.counters.id_lists_sent += 1
 
     def _on_event_id_list(self, msg: EventIdList) -> None:
         """Fig. 6 lines 25-32: learn what a neighbour holds, then offer."""
@@ -211,106 +204,9 @@ class FrugalPubSub(PubSubProtocol):
         for event_id in msg.event_ids:
             self.neighborhood.record_known_event(msg.sender, event_id,
                                                  now=self.host.now)
-        self._retrieve_events_to_send()
+        self.forwarding.retrieve()
 
-    def _recompute_delays(self) -> None:
-        """Fig. 8: adapt heartbeat and neighbourhood-GC periods."""
-        avg = self.neighborhood.average_speed(
-            own_speed=self.host.current_speed())
-        new_hb = self.config.adapted_hb_delay(avg, self._hb_delay)
-        if new_hb != self._hb_delay:
-            self._hb_delay = new_hb
-            if self._hb_task is not None:
-                self._hb_task.set_period(new_hb)
-        # NGCDelay follows HBDelay (Fig. 8 line 12).
-        if self._ngc_task is not None:
-            self._ngc_task.set_period(self.config.ngc_delay(self._hb_delay))
-
-    def _heartbeat_tick(self) -> None:
-        topics = self.advertised_topics()
-        if not topics:
-            return
-        speed = (self.host.current_speed()
-                 if self.config.speed_in_heartbeats else None)
-        self.host.send(Heartbeat(sender=self.host.id,
-                                 subscriptions=topics,
-                                 speed=speed))
-        self.heartbeats_sent += 1
-
-    def _ngc_tick(self) -> None:
-        """Fig. 10 lines 2-8: drop stale neighbourhood rows."""
-        self.neighborhood.collect(self.host.now,
-                                  self.config.ngc_delay(self._hb_delay))
-
-    # -- phase 2: dissemination ------------------------------------------------------------
-
-    def _retrieve_events_to_send(self) -> List[EventId]:
-        """Fig. 7: compute what some neighbour needs; arm the back-off.
-
-        Returns the computed id list (the send itself happens at back-off
-        expiry on a *recomputed* list, per the paper's prose).
-        """
-        to_send = self._compute_events_to_send()
-        if not to_send:
-            return []
-        delay = self.config.backoff_delay(self._hb_delay, len(to_send))
-        if self._bo_delay is None:
-            self._bo_delay = delay
-        else:
-            self._bo_delay = min(self._bo_delay, delay)
-        if not self.config.use_backoff:
-            self._on_backoff_expired()
-            return to_send
-        if self._backoff_timer is None or not self._backoff_timer.active:
-            armed = self._bo_delay
-            if self.config.backoff_jitter_frac > 0:
-                armed *= 1.0 + self.host.rng.uniform(
-                    0.0, self.config.backoff_jitter_frac)
-            self._backoff_timer = self.host.schedule(
-                armed, self._on_backoff_expired)
-        return to_send
-
-    def _compute_events_to_send(self) -> List[EventId]:
-        """Ids of held, valid events some matching neighbour lacks."""
-        now = self.host.now
-        needed: Set[EventId] = set()
-        valid_rows = self.events.valid_rows(now)
-        if not valid_rows:
-            return []
-        for neighbor in self.neighborhood:
-            for row in valid_rows:
-                if row.event_id in needed:
-                    continue
-                if (subscription_matches_event(neighbor.subscriptions,
-                                               row.topic)
-                        and not neighbor.knows(row.event_id)):
-                    needed.add(row.event_id)
-        return sorted(needed)
-
-    def _on_backoff_expired(self) -> None:
-        """Fig. 9 lines 2-14: recompute, send, account."""
-        self._bo_delay = None
-        self._backoff_timer = None
-        to_send = self._compute_events_to_send()
-        if not to_send:
-            return
-        events = tuple(self.events.get(eid).event for eid in to_send)
-        neighbor_ids = tuple(self.neighborhood.ids())
-        self.host.send(EventBatch(sender=self.host.id, events=events,
-                                  neighbor_ids=neighbor_ids))
-        self.batches_sent += 1
-        self.events_forwarded += len(events)
-        for nid in neighbor_ids:
-            for eid in to_send:
-                self.neighborhood.record_known_event(nid, eid)
-        for eid in to_send:
-            self.events.increment_forward_count(eid)
-
-    def _cancel_backoff(self) -> None:
-        if self._backoff_timer is not None:
-            self._backoff_timer.cancel()
-            self._backoff_timer = None
-        self._bo_delay = None
+    # -- phase 2 glue: batch reception -------------------------------------------------------
 
     def _on_event_batch(self, msg: EventBatch) -> None:
         """Fig. 9 lines 16-32: receive events, deliver, update the view."""
@@ -323,71 +219,58 @@ class FrugalPubSub(PubSubProtocol):
             for nid in msg.neighbor_ids:
                 if nid != self.host.id:
                     self.neighborhood.record_known_event(nid, event.event_id)
-            if not subscription_matches_event(self.subscriptions,
-                                              event.topic):
-                self.parasites_dropped += 1
+            if not self.delivery.matches(event.topic):
+                self.counters.parasites_dropped += 1
                 continue
             if event.event_id in self.events:
-                self.duplicates_dropped += 1
+                self.counters.duplicates_dropped += 1
                 continue
             if not event.is_valid(now):
                 continue   # expired in flight; of no use to anyone
             interested = True
             if self.config.backoff_suppression:
-                self._cancel_backoff()
+                self.forwarding.cancel()
             row = self.events.store(event, now)
             if not row.delivered:
                 row.delivered = True
-                self.delivered_count += 1
-                self.host.deliver(event)
+                self.delivery.hand_off(event)
         if interested:
-            self._retrieve_events_to_send()
-
-    # -- phase 3: task management -------------------------------------------------------------
-
-    def _update_tasks(self) -> None:
-        """Start/stop the heartbeat and neighbourhood-GC tasks (Fig. 5).
-
-        Tasks run while the process is up and advertises at least one
-        topic (a subscription, or an own still-valid publication).
-        """
-        if not self._running or self.host is None:
-            return
-        if self.advertised_topics():
-            if self._hb_task is None or not self._hb_task.running:
-                self._hb_task = self.host.periodic(
-                    self._hb_delay, self._heartbeat_tick,
-                    jitter=self.config.hb_jitter)
-            if self._ngc_task is None or not self._ngc_task.running:
-                self._ngc_task = self.host.periodic(
-                    self.config.ngc_delay(self._hb_delay), self._ngc_tick)
-        else:
-            self._stop_tasks()
-
-    def _stop_tasks(self) -> None:
-        if self._hb_task is not None:
-            self._hb_task.stop()
-            self._hb_task = None
-        if self._ngc_task is not None:
-            self._ngc_task.stop()
-            self._ngc_task = None
+            self.forwarding.retrieve()
 
     # -- misc ---------------------------------------------------------------------------------
 
-    def _require_attached(self) -> None:
+    def _require_frugal_attached(self) -> None:
         if self.host is None or self.events is None:
             raise RuntimeError("protocol is not attached to a host")
 
     @property
+    def neighborhood(self):
+        """The membership layer's matching-neighbour table (Fig. 2)."""
+        return self.membership.table
+
+    @property
     def hb_delay(self) -> float:
         """Current (possibly adapted) heartbeat period [s]."""
-        return self._hb_delay
+        return self.membership.hb_delay
 
     @property
     def backoff_pending(self) -> bool:
-        return self._backoff_timer is not None and self._backoff_timer.active
+        """Is a dissemination back-off currently armed?"""
+        return self.forwarding.pending
+
+    @property
+    def _backoff_timer(self):
+        """The armed back-off timer handle (tests peek at it)."""
+        return self.forwarding.timer
 
     def __repr__(self) -> str:   # pragma: no cover - debugging aid
-        subs = ",".join(sorted(str(t) for t in self._subscriptions))
+        subs = ",".join(sorted(str(t) for t in self.delivery.subscriptions))
         return (f"<FrugalPubSub subs=[{subs}] "
                 f"events={len(self.events) if self.events else 0}>")
+
+
+registry.register(
+    "frugal",
+    lambda config: FrugalPubSub(config.frugal),
+    description="the paper's frugal store-and-forward protocol",
+    replace=True)   # module re-imports re-register identically

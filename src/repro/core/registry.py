@@ -1,0 +1,153 @@
+"""String-keyed protocol registry: one place to plug in a dissemination
+strategy.
+
+The experiment harness historically dispatched on a hard-coded
+``if config.protocol == ...`` chain; every new protocol meant editing the
+harness.  The registry inverts that: a protocol module registers a
+factory under a name, and :class:`~repro.harness.scenario.ScenarioConfig`
+validation, ``make_protocol``, the CLI ``--protocol`` surface and the
+``protocol-matrix`` experiment all consult the same table.
+
+A factory receives the *full* scenario config (duck-typed — the registry
+lives below the harness and never imports it) and returns a fresh
+:class:`~repro.core.base.PubSubProtocol`.  Entries flagged ``hidden``
+are valid in configs but excluded from "every protocol" sweeps — the
+frozen pre-stack reference implementations
+(:mod:`repro.baselines.reference`) use this so the paired-equality suite
+can run them through the full harness without them showing up in
+comparison tables.
+
+Worker processes of the parallel engine resolve names against *their
+own* import of the registry, so custom protocols must be registered at
+import time of a module the harness pulls in (see
+``examples/custom_protocol.py`` for the single-process pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List
+
+from repro.core.base import PubSubProtocol
+
+#: A protocol factory: receives the full scenario config (duck-typed),
+#: returns a fresh protocol instance.
+ProtocolFactory = Callable[[object], PubSubProtocol]
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """One registered dissemination strategy."""
+
+    name: str
+    factory: ProtocolFactory
+    description: str = ""
+    hidden: bool = False
+
+    def create(self, config) -> PubSubProtocol:
+        """Instantiate the protocol for one scenario config."""
+        return self.factory(config)
+
+
+class ProtocolRegistry:
+    """A mutable name -> :class:`ProtocolEntry` table."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, ProtocolEntry] = {}
+
+    # -- mutation ---------------------------------------------------------------
+
+    def register(self, name: str, factory: ProtocolFactory, *,
+                 description: str = "", hidden: bool = False,
+                 replace: bool = False) -> ProtocolEntry:
+        """Add a protocol under ``name``; duplicate names raise unless
+        ``replace`` is set (re-imports of the same module are
+        idempotent either way)."""
+        if not name:
+            raise ValueError("protocol name must be non-empty")
+        if name in self._entries and not replace:
+            raise ValueError(f"protocol {name!r} is already registered; "
+                             f"pass replace=True to override")
+        entry = ProtocolEntry(name=name, factory=factory,
+                              description=description, hidden=hidden)
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (unknown names raise)."""
+        if name not in self._entries:
+            raise ValueError(f"protocol {name!r} is not registered")
+        del self._entries[name]
+
+    # -- lookup -----------------------------------------------------------------
+
+    def get(self, name: str) -> ProtocolEntry:
+        """The entry for ``name``, or a ValueError naming the known set."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown protocol {name!r}; known: "
+                f"{self.names(include_hidden=True)}") from None
+
+    def create(self, name: str, config) -> PubSubProtocol:
+        """Instantiate the protocol registered under ``name``."""
+        return self.get(name).create(config)
+
+    def names(self, include_hidden: bool = False) -> List[str]:
+        """Registered names, sorted; hidden entries opt-in."""
+        return sorted(n for n, e in self._entries.items()
+                      if include_hidden or not e.hidden)
+
+    def entries(self, include_hidden: bool = False) -> List[ProtocolEntry]:
+        """Registered entries in name order; hidden entries opt-in."""
+        return [self._entries[n]
+                for n in self.names(include_hidden=include_hidden)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names(include_hidden=True))
+
+    def __repr__(self) -> str:   # pragma: no cover - debugging aid
+        return f"<ProtocolRegistry {self.names(include_hidden=True)}>"
+
+
+#: The process-wide default registry every harness surface consults.
+REGISTRY = ProtocolRegistry()
+
+
+def register(name: str, factory: ProtocolFactory, *, description: str = "",
+             hidden: bool = False, replace: bool = False) -> ProtocolEntry:
+    """Register into the default registry (module-level convenience)."""
+    return REGISTRY.register(name, factory, description=description,
+                             hidden=hidden, replace=replace)
+
+
+def unregister(name: str) -> None:
+    """Remove from the default registry (module-level convenience)."""
+    REGISTRY.unregister(name)
+
+
+def get(name: str) -> ProtocolEntry:
+    """Look up in the default registry (module-level convenience)."""
+    return REGISTRY.get(name)
+
+
+def create(name: str, config) -> PubSubProtocol:
+    """Instantiate from the default registry (module-level convenience)."""
+    return REGISTRY.create(name, config)
+
+
+def names(include_hidden: bool = False) -> List[str]:
+    """Names in the default registry (module-level convenience)."""
+    return REGISTRY.names(include_hidden=include_hidden)
+
+
+def entries(include_hidden: bool = False) -> List[ProtocolEntry]:
+    """Entries in the default registry (module-level convenience)."""
+    return REGISTRY.entries(include_hidden=include_hidden)

@@ -1,0 +1,49 @@
+"""Composable protocol-stack layers.
+
+Every dissemination protocol in this repository — the paper's frugal
+protocol, the Section 5.2 flooding comparators and the lpbcast-style
+gossip baseline — is assembled from four layers, each written against the
+minimal :class:`repro.core.base.Host` interface:
+
+* **membership** (:mod:`repro.core.stack.membership`) — who is around and
+  what do they want: heartbeat beaconing, a neighbour table, timeout GC.
+  Two implementations: the frugal protocol's adaptive
+  :class:`HeartbeatMembership` (``computeHBDelay``/``computeNGCDelay``,
+  paper Fig. 8) and the flooder's flat :class:`TTLMembership`.
+* **store** (:mod:`repro.core.stack.store`) — which events a process
+  holds: a bounded or unbounded event table with validity expiry and
+  pluggable eviction from :mod:`repro.core.gc`.
+* **delivery** (:mod:`repro.core.stack.delivery`) — what reaches the
+  application: subscription matching, exactly-once hand-off, duplicate
+  and parasite accounting.
+* **forwarding** (:mod:`repro.core.stack.forwarding`) — when held events
+  go back on the air: the frugal back-off/suppression contention
+  (:class:`BackoffForwarding`), the flooders' fixed-period rebroadcast
+  (:class:`PeriodicFloodForwarding`) and the gossip rounds of the
+  lpbcast-style baseline (:class:`GossipForwarding`).
+
+All layers share one :class:`repro.core.base.ProtocolCounters` instance
+per stack, and a protocol class is little more than the composition
+root wiring them together (see ``examples/custom_protocol.py`` for a
+from-scratch composition, and :mod:`repro.core.registry` for plugging
+the result into the experiment harness).
+"""
+
+from repro.core.base import ProtocolCounters
+from repro.core.stack.delivery import DeliveryLayer
+from repro.core.stack.forwarding import (BackoffForwarding,
+                                         GossipForwarding,
+                                         PeriodicFloodForwarding)
+from repro.core.stack.membership import HeartbeatMembership, TTLMembership
+from repro.core.stack.store import EventStore
+
+__all__ = [
+    "ProtocolCounters",
+    "DeliveryLayer",
+    "EventStore",
+    "HeartbeatMembership",
+    "TTLMembership",
+    "BackoffForwarding",
+    "PeriodicFloodForwarding",
+    "GossipForwarding",
+]

@@ -125,6 +125,15 @@ class NeighborhoodTable:
     def remove(self, node_id: int) -> None:
         self._entries.pop(node_id, None)
 
+    def clear(self) -> None:
+        """Drop every row (crash semantics: the view is volatile state).
+
+        In-place so long-lived references — the stack layers hold the
+        table across crash/recover cycles — stay valid; the configured
+        ``capacity`` is preserved.
+        """
+        self._entries.clear()
+
     def _evict_stalest(self) -> None:
         """Make room for a fresh neighbour: the least recently heard row
         is the least likely to still be in radio range."""
@@ -239,6 +248,18 @@ class EventTable:
     def remove(self, event_id: EventId) -> None:
         self._rows.pop(event_id, None)
 
+    def clear(self) -> None:
+        """Drop every row and zero the eviction tallies (crash semantics).
+
+        Equivalent to building a fresh table with the same capacity,
+        policy and rng — which is exactly what the pre-stack protocol did
+        on ``on_stop`` — but in place, so stack layers can keep their
+        reference across crash/recover cycles.
+        """
+        self._rows.clear()
+        self.evictions_expired = 0
+        self.evictions_policy = 0
+
     # -- queries ----------------------------------------------------------------------
 
     def valid_rows(self, now: float) -> List[StoredEvent]:
@@ -265,9 +286,11 @@ class EventTable:
     def purge_expired(self, now: float) -> List[EventId]:
         """Eagerly drop expired rows; returns the removed ids.
 
-        The paper only collects lazily (on insertion into a full table);
-        this eager variant is exposed for tests and long-running examples
-        and is never called by the protocol itself.
+        The paper's *frugal* protocol only collects lazily (on insertion
+        into a full table) and never calls this.  The periodic
+        forwarding layers (flooding tick, gossip round — see
+        :mod:`repro.core.stack.forwarding`) do call it every period:
+        their store semantics have always been expire-on-tick.
         """
         dead = [eid for eid, row in self._rows.items()
                 if not row.is_valid(now)]

@@ -16,8 +16,8 @@ from repro.harness.scenario import (CitySectionSpec, FixedPositionsSpec,
                                     MobilitySpec, Publication,
                                     RandomWaypointSpec, ScenarioConfig,
                                     ScenarioResult, StationarySpec, World,
-                                    build_world, make_protocol,
-                                    run_scenario)
+                                    build_world, known_protocols,
+                                    make_protocol, run_scenario)
 from repro.harness.runner import (Aggregate, MultiSeedResult, aggregate,
                                   run_matrix, run_seeds)
 from repro.harness.cache import ResultCache, code_version_tag, config_digest
@@ -29,6 +29,7 @@ from repro.harness.experiments import (ALL_EXPERIMENTS, ExperimentResult,
                                        frugality_comparison, rwp_scenario)
 from repro.harness.reporting import (availability_timeline,
                                      depletion_timeline,
+                                     experiment_pivot,
                                      format_engine_stats,
                                      format_experiment, format_table,
                                      reliability_grid, to_csv)
@@ -44,6 +45,7 @@ __all__ = [
     "StationarySpec",
     "World",
     "build_world",
+    "known_protocols",
     "make_protocol",
     "run_scenario",
     "Aggregate",
@@ -71,6 +73,7 @@ __all__ = [
     "rwp_scenario",
     "availability_timeline",
     "depletion_timeline",
+    "experiment_pivot",
     "format_experiment",
     "format_table",
     "reliability_grid",

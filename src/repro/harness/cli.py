@@ -30,8 +30,8 @@ from repro.harness import parallel
 from repro.harness.cache import ResultCache, default_cache_dir
 from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.harness.presets import get_scale
-from repro.harness.reporting import (format_engine_stats, format_experiment,
-                                     to_csv)
+from repro.harness.reporting import (experiment_pivot, format_engine_stats,
+                                     format_experiment, to_csv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,7 +43,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help="experiment id (fig11..fig20, abl-gc, abl-backoff, "
              "abl-adaptive-hb, abl-ids, abl-dutycycle, abl-outage, "
-             "energy-lifetime, churn-resilience), 'all', or 'list'")
+             "energy-lifetime, churn-resilience, protocol-matrix), "
+             "'all', or 'list'")
     parser.add_argument(
         "--scale", default=None, choices=["smoke", "quick", "paper"],
         help="experiment scale (default: REPRO_SCALE env or quick; "
@@ -92,6 +93,9 @@ def run_one(experiment_id: str, scale_name: Optional[str],
     runner.stats.reset()
     result = ALL_EXPERIMENTS[experiment_id](scale)
     print(format_experiment(result))
+    pivot = experiment_pivot(result)
+    if pivot:
+        print("\n" + pivot)
     print(format_engine_stats(runner.stats, jobs=runner.jobs,
                               cached=runner.cache is not None))
     if csv_path:

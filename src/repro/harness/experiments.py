@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core import registry
 from repro.core.config import FrugalConfig
 from repro.energy import DutyCycleConfig, EnergyConfig, PowerProfile
 from repro.faults import ChurnConfig, FaultConfig, RegionalOutage
@@ -530,6 +531,46 @@ def churn_resilience(scale: Optional[Scale] = None) -> ExperimentResult:
     return result
 
 
+def protocol_matrix(scale: Optional[Scale] = None) -> ExperimentResult:
+    """protocol-matrix: every registered protocol under churn.
+
+    The registry-powered cross product: each *visible* entry of
+    :mod:`repro.core.registry` — the frugal protocol, the three
+    Section 5.2 flooders, both broadcast-storm schemes, the lpbcast
+    gossip baseline, and any custom registration — runs the PR-4 churn
+    scenarios on paired seeds.  One sweep answers "how does a new
+    strategy behave under availability stress" without touching the
+    harness; hidden verification entries are excluded.
+    """
+    scale = scale or get_scale()
+    sessions = scale.pick(CHURN_SESSIONS_FULL, CHURN_SESSIONS_COARSE)
+    protocols = registry.names()
+    result = ExperimentResult(
+        experiment_id="protocol-matrix",
+        title="Every registered protocol under population churn "
+              "(random waypoint, 10 m/s, exponential sessions)",
+        parameters={"scale": scale.name, "protocols": protocols,
+                    "mean_sessions_s": ["none" if s is None else s
+                                        for s in sessions]})
+    for protocol in protocols:
+        for session in sessions:
+            cfg = churn_scenario(scale, protocol, session)
+            multi = run_seeds(cfg, scale.seed_list())
+            summary = multi.summary()
+            row = {"protocol": protocol,
+                   "churn_per_min": (0.0 if session is None
+                                     else 60.0 / session),
+                   "reliability": summary["reliability"].mean,
+                   "bandwidth_bytes": summary["bandwidth_bytes"].mean,
+                   "duplicates": summary["duplicates"].mean,
+                   "parasites": summary["parasites"].mean}
+            for name in FAULT_METRICS:
+                row[name] = summary[name].mean
+                row[name + "_std"] = summary[name].std
+            result.rows.append(row)
+    return result
+
+
 def ablation_outage(scale: Optional[Scale] = None) -> ExperimentResult:
     """abl-outage: a regional outage knocks out the middle of the map.
 
@@ -730,4 +771,5 @@ ALL_EXPERIMENTS: Dict[str, Callable[[Optional[Scale]], ExperimentResult]] = {
     "energy-lifetime": energy_lifetime,
     "churn-resilience": churn_resilience,
     "abl-outage": ablation_outage,
+    "protocol-matrix": protocol_matrix,
 }

@@ -145,6 +145,34 @@ def availability_timeline(timeline, buckets: int = 10) -> str:
     return format_table(rows)
 
 
+#: Per-experiment pivot renderings the CLI appends below the row table:
+#: experiment id -> kwargs for :func:`reliability_grid`.  The
+#: ``protocol-matrix`` sweep is the flagship consumer — a protocol x
+#: churn-rate grid of churn-aware reliability reads like the paper's
+#: comparison figures.
+EXPERIMENT_PIVOTS: Dict[str, Dict[str, str]] = {
+    "protocol-matrix": {"row_key": "protocol", "col_key": "churn_per_min",
+                        "value_key": "churn_reliability"},
+}
+
+
+def experiment_pivot(result: ExperimentResult) -> Optional[str]:
+    """The registered pivot grid for this experiment, or ``None``.
+
+    Returns a rendered comparison grid (see :data:`EXPERIMENT_PIVOTS`)
+    when the experiment id has one and the rows carry the needed
+    columns; the CLI prints it after the flat table.
+    """
+    spec = EXPERIMENT_PIVOTS.get(result.experiment_id)
+    if spec is None or not result.rows:
+        return None
+    needed = set(spec.values())
+    if not needed.issubset(result.rows[0]):
+        return None
+    title = f"-- {spec['value_key']} by {spec['row_key']} --"
+    return title + "\n" + reliability_grid(result, **spec)
+
+
 def reliability_grid(result: ExperimentResult, row_key: str,
                      col_key: str, value_key: str = "reliability",
                      **fixed) -> str:

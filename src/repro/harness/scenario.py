@@ -27,13 +27,15 @@ import time as _wallclock
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.baselines import (CounterFlooding, GossipFlooding,
-                             InterestAwareFlooding,
-                             NeighborInterestFlooding, SimpleFlooding)
-from repro.core.base import PubSubProtocol
+# Importing the baseline package (and, via repro.core, the frugal
+# protocol module) populates the protocol registry this module
+# dispatches through — including in spawned worker processes, which
+# re-import this module to unpickle configs.
+from repro.baselines import GossipConfig
+from repro.core import registry
+from repro.core.base import ProtocolCounters, PubSubProtocol
 from repro.core.config import FrugalConfig
 from repro.core.events import Event, EventFactory
-from repro.core.protocol import FrugalPubSub
 from repro.energy import EnergyAccountant, EnergyConfig
 from repro.faults import FaultConfig, FaultInjector, FaultTimeline
 from repro.metrics import (MetricsCollector, ReliabilityReport,
@@ -46,8 +48,10 @@ from repro.net import (MediumConfig, Node, RadioConfig, SizeModel,
 from repro.sim import RngRegistry, Simulator
 from repro.sim.space import Vec2
 
-PROTOCOLS = ("frugal", "simple-flooding", "interest-flooding",
-             "neighbor-flooding", "gossip-flooding", "counter-flooding")
+def known_protocols(include_hidden: bool = False) -> Tuple[str, ...]:
+    """The registered protocol names (the historical ``PROTOCOLS`` tuple,
+    now answered live by :mod:`repro.core.registry`)."""
+    return tuple(registry.names(include_hidden=include_hidden))
 
 
 # --------------------------------------------------------------------------
@@ -189,6 +193,7 @@ class ScenarioConfig:
     flood_period: float = 1.0
     gossip_probability: float = 0.6
     counter_threshold: int = 3
+    gossip: GossipConfig = field(default_factory=GossipConfig)
     radio: RadioConfig = field(
         default_factory=RadioConfig.paper_random_waypoint)
     medium: MediumConfig = field(default_factory=MediumConfig)
@@ -208,9 +213,11 @@ class ScenarioConfig:
             raise ValueError("duration must be positive")
         if self.warmup < 0:
             raise ValueError("warmup must be >= 0")
-        if self.protocol not in PROTOCOLS:
-            raise ValueError(f"protocol must be one of {PROTOCOLS}: "
-                             f"{self.protocol!r}")
+        if self.protocol not in registry.REGISTRY:
+            raise ValueError(
+                f"protocol must be one of "
+                f"{registry.names(include_hidden=True)}: "
+                f"{self.protocol!r}")
         if not 0.0 < self.subscriber_fraction <= 1.0:
             raise ValueError("subscriber_fraction must be in (0, 1]")
         for pub in self.publications:
@@ -316,6 +323,14 @@ class ScenarioResult:
     def parasites_per_process(self) -> float:
         """Mean parasite (uninterested-topic) receptions per process."""
         return self.collector.parasites_per_process()
+
+    def protocol_counters(self) -> ProtocolCounters:
+        """Summed per-stack protocol counters (heartbeats, batches,
+        deliveries, drops) over the measurement window — warm-up
+        traffic is excluded, like every other metric; zeros for results
+        produced before the capture existed."""
+        totals = getattr(self.collector, "protocol_totals", None)
+        return totals if totals is not None else ProtocolCounters()
 
     # -- energy (only when the scenario is energy-instrumented) --------------------
 
@@ -439,20 +454,14 @@ class ScenarioResult:
 # --------------------------------------------------------------------------
 
 def make_protocol(config: ScenarioConfig) -> PubSubProtocol:
-    """Instantiate the protocol named by ``config.protocol``."""
-    if config.protocol == "frugal":
-        return FrugalPubSub(config.frugal)
-    if config.protocol == "simple-flooding":
-        return SimpleFlooding(flood_period=config.flood_period)
-    if config.protocol == "interest-flooding":
-        return InterestAwareFlooding(flood_period=config.flood_period)
-    if config.protocol == "neighbor-flooding":
-        return NeighborInterestFlooding(flood_period=config.flood_period)
-    if config.protocol == "gossip-flooding":
-        return GossipFlooding(probability=config.gossip_probability)
-    if config.protocol == "counter-flooding":
-        return CounterFlooding(threshold=config.counter_threshold)
-    raise ValueError(f"unknown protocol {config.protocol!r}")   # unreachable
+    """Instantiate the protocol named by ``config.protocol``.
+
+    Dispatch goes through the protocol registry
+    (:mod:`repro.core.registry`): any strategy registered there — the
+    built-ins, the hidden verification references, or a custom
+    composition of the stack layers — is constructible by name.
+    """
+    return registry.create(config.protocol, config)
 
 
 def select_subscribers(config: ScenarioConfig,
@@ -554,6 +563,10 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         collector.freeze()
         sim.run(until=config.warmup)
         collector.resume()
+    # Protocol counters are lifetime-monotonic; baseline them here so
+    # the captured totals cover the measurement window only, like every
+    # other metric.
+    collector.mark_protocol_baseline(nodes)
     if world.energy is not None:
         # Warm-up traffic is free: zero the meters and refill batteries
         # so lifetime clocks start with the measurement window.
@@ -584,6 +597,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         world.energy.finalize()
     if world.faults is not None:
         world.faults.finalize()
+    collector.capture_protocol_totals(nodes)
 
     return ScenarioResult(
         config=config,

@@ -23,6 +23,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
+from repro.core.base import ProtocolCounters
 from repro.core.events import Event, EventId
 from repro.core.topics import subscription_matches_event
 from repro.net.medium import WirelessMedium
@@ -55,6 +56,11 @@ class MetricsCollector:
         self.published: Dict[EventId, Event] = {}
         self._seen_receptions: Set[Tuple[int, EventId]] = set()
         self._frozen = False
+        #: Snapshot of the summed per-protocol stack counters, filled by
+        #: :meth:`capture_protocol_totals` at run end (picklable, so it
+        #: survives the worker->parent transfer and the result cache).
+        self.protocol_totals: Optional[ProtocolCounters] = None
+        self._protocol_baseline: Optional[ProtocolCounters] = None
         medium.on_transmit = self._on_transmit
         medium.on_receive = self._on_receive
 
@@ -68,6 +74,35 @@ class MetricsCollector:
     def record_publication(self, event: Event) -> None:
         """Register an event of interest for reliability accounting."""
         self.published[event.event_id] = event
+
+    def mark_protocol_baseline(self, nodes) -> None:
+        """Snapshot the protocol counters at measurement-window start.
+
+        Protocol counters are lifetime-monotonic; recording them when
+        warm-up ends lets :meth:`capture_protocol_totals` report the
+        measurement window only — the same window every other metric of
+        this collector uses (warm-up traffic is frozen out).
+        """
+        self._protocol_baseline = ProtocolCounters.total(
+            node.protocol.counters for node in nodes)
+
+    def capture_protocol_totals(self, nodes) -> ProtocolCounters:
+        """Snapshot the sum of the nodes' unified protocol counters.
+
+        Protocol counters are the *protocol-level* view (what each stack
+        believes it sent/delivered/dropped), complementary to this
+        collector's medium-level tallies; the snapshot is a plain
+        dataclass, so it stays readable after the collector detaches
+        from the world on pickling.  If :meth:`mark_protocol_baseline`
+        ran (as :func:`~repro.harness.scenario.run_scenario` does at
+        warm-up end), the totals cover the measurement window only.
+        """
+        totals = ProtocolCounters.total(
+            node.protocol.counters for node in nodes)
+        if self._protocol_baseline is not None:
+            totals = totals.minus(self._protocol_baseline)
+        self.protocol_totals = totals
+        return self.protocol_totals
 
     def freeze(self) -> None:
         """Stop counting (used to exclude post-measurement-window traffic)."""

@@ -14,8 +14,15 @@ Qualnet.  This subpackage is our from-scratch equivalent:
   finite transmission durations and receiver-side collisions (no capture),
 * :mod:`repro.net.node` — binds a protocol + mobility model + metrics to
   the medium and exposes the small host interface protocols program to.
+
+It also surfaces :class:`~repro.core.base.ProtocolCounters`, the unified
+picklable per-stack counter dataclass every protocol layer writes into
+(defined next to the host interface to keep the import graph acyclic;
+the network layer is where the counts become observable, via
+``MetricsCollector.capture_protocol_totals``).
 """
 
+from repro.core.base import ProtocolCounters
 from repro.net.radio import (PathLossModel, RadioConfig, dbm_to_mw,
                              mw_to_dbm, free_space_path_loss_db,
                              two_ray_path_loss_db)
@@ -40,4 +47,5 @@ __all__ = [
     "MediumConfig",
     "Transmission",
     "Node",
+    "ProtocolCounters",
 ]

@@ -15,6 +15,7 @@ import pickle
 
 import pytest
 
+from repro.baselines import GossipConfig
 from repro.core.config import FrugalConfig
 from repro.energy import EnergyConfig, PowerProfile
 from repro.faults import (ChurnConfig, FaultConfig, FaultEvent, FaultPlan,
@@ -50,6 +51,7 @@ FIELD_CHANGES = {
     "flood_period": 2.0,
     "gossip_probability": 0.5,
     "counter_threshold": 4,
+    "gossip": GossipConfig(forward_probability=0.5),
     "radio": RadioConfig.paper_city_section(),
     "medium": MediumConfig(frame_loss_probability=0.1),
     "sizes": SizeModel(heartbeat_bytes=60),

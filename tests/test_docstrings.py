@@ -2,11 +2,13 @@
 
 Mirrors the CI ``ruff check`` (pydocstyle rules D101/D102/D103) for the
 ``repro.sim``, ``repro.net``, ``repro.harness`` and ``repro.faults``
-packages, so the
-docs contract is enforced even where ruff is not installed: every public
-class, function, method and property in those trees must carry a
-docstring.  Private names (leading underscore) and dunders are exempt,
-matching the pydocstyle visibility rules.
+packages plus the protocol-stack surface (``repro.core.stack``,
+``repro.core.registry``, the ``repro.baselines.gossip`` and
+``repro.baselines.reference`` modules), so the docs contract is enforced
+even where ruff is not installed: every public class, function, method
+and property in those trees must carry a docstring.  Private names
+(leading underscore) and dunders are exempt, matching the pydocstyle
+visibility rules.
 """
 
 from __future__ import annotations
@@ -19,13 +21,16 @@ from typing import Iterator, List, Tuple
 import pytest
 
 DOCUMENTED_PACKAGES = ("repro.sim", "repro.net", "repro.harness",
-                       "repro.faults")
+                       "repro.faults", "repro.core.stack",
+                       "repro.core.registry", "repro.baselines.gossip",
+                       "repro.baselines.reference")
 
 
 def _iter_modules(package_name: str) -> Iterator[object]:
     package = importlib.import_module(package_name)
     yield package
-    for info in pkgutil.iter_modules(package.__path__):
+    # Plain modules (e.g. repro.core.registry) have no __path__.
+    for info in pkgutil.iter_modules(getattr(package, "__path__", [])):
         if info.name.startswith("_"):
             continue
         yield importlib.import_module(f"{package_name}.{info.name}")

@@ -65,6 +65,20 @@ class TestExamplesRun:
         assert frugal_alive > flood_alive
 
     @pytest.mark.slow
+    def test_custom_protocol(self, capsys):
+        load_example("custom_protocol").main(seed=1)
+        out = capsys.readouterr().out
+        assert "selective-gossip" in out
+        assert "Membership gating" in out
+        # The gate must genuinely cut airtime on the low-interest
+        # scenario the example constructs.
+        factor = float(out.rsplit("by", 1)[1].split("x")[0].strip())
+        assert factor > 1.0
+        # The custom stack must have been unregistered on exit.
+        from repro.core import registry
+        assert "selective-gossip" not in registry.names(include_hidden=True)
+
+    @pytest.mark.slow
     def test_protocol_comparison(self, capsys):
         load_example("protocol_comparison").main(n_events=2, interest=0.6)
         out = capsys.readouterr().out

@@ -171,6 +171,20 @@ class TestChurnExperiments:
                 assert row["availability"] < 1.0
                 assert row["downtime_s"] > 0.0
 
+    def test_protocol_matrix_covers_every_visible_protocol(self):
+        from repro.core import registry
+        from repro.harness.experiments import protocol_matrix
+        result = protocol_matrix(TINY)
+        measured = {r["protocol"] for r in result.rows}
+        assert measured == set(registry.names())
+        assert "gossip" in measured                    # the new baseline
+        assert "legacy-frugal" not in measured         # hidden stays out
+        rates = sorted({r["churn_per_min"] for r in result.rows})
+        assert rates[0] == 0.0 and len(rates) == 3
+        for row in result.rows:
+            assert 0.0 <= row["reliability"] <= 1.0
+            assert row["churn_reliability"] >= row["reliability"] - 1e-12
+
     def test_outage_ablation_shape(self):
         result = ablation_outage(TINY)
         kinds = [r["outage"] for r in result.rows]
@@ -188,5 +202,5 @@ class TestRegistry:
         expected = {f"fig{i}" for i in range(11, 21)} | {
             "abl-gc", "abl-backoff", "abl-adaptive-hb", "abl-ids",
             "abl-dutycycle", "abl-outage", "related-work",
-            "energy-lifetime", "churn-resilience"}
+            "energy-lifetime", "churn-resilience", "protocol-matrix"}
         assert set(ALL_EXPERIMENTS) == expected

@@ -1,0 +1,93 @@
+"""Attach/detach symmetry of the protocol lifecycle (repro.core.base).
+
+The contract: ``attach`` twice raises, ``detach`` without an attach
+raises, any host-needing use after a detach raises cleanly, and a
+stopped+detached protocol instance can be re-attached — the clean path
+for moving an instance across crash/recover cycles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (GossipPubSub, InterestAwareFlooding,
+                             NeighborInterestFlooding, SimpleFlooding)
+from repro.core.protocol import FrugalPubSub
+
+from tests.helpers import FakeHost, make_event
+
+ALL_PROTOCOLS = [FrugalPubSub, SimpleFlooding, InterestAwareFlooding,
+                 NeighborInterestFlooding, GossipPubSub]
+
+IDS = [cls.__name__ for cls in ALL_PROTOCOLS]
+
+
+@pytest.mark.parametrize("cls", ALL_PROTOCOLS, ids=IDS)
+class TestAttachDetachSymmetry:
+    def test_double_attach_raises(self, cls):
+        proto = cls()
+        proto.attach(FakeHost())
+        with pytest.raises(RuntimeError, match="already attached"):
+            proto.attach(FakeHost(host_id=1))
+
+    def test_detach_without_attach_raises(self, cls):
+        with pytest.raises(RuntimeError, match="not attached"):
+            cls().detach()
+
+    def test_double_detach_raises(self, cls):
+        proto = cls()
+        proto.attach(FakeHost())
+        proto.detach()
+        with pytest.raises(RuntimeError, match="not attached"):
+            proto.detach()
+
+    def test_detach_while_running_raises(self, cls):
+        """Armed periodic tasks hold the old host; a running protocol
+        must be stopped before its binding may be severed."""
+        proto = cls()
+        proto.attach(FakeHost())
+        proto.subscribe(".a")
+        proto.on_start()
+        with pytest.raises(RuntimeError, match="on_stop"):
+            proto.detach()
+        proto.on_stop()
+        proto.detach()                       # clean once stopped
+
+    def test_publish_after_detach_raises(self, cls):
+        proto = cls()
+        proto.attach(FakeHost())
+        proto.subscribe(".a")
+        proto.on_start()
+        proto.on_stop()
+        proto.detach()
+        with pytest.raises(RuntimeError, match="not attached"):
+            proto.publish(make_event(topic=".a"))
+
+    def test_reattach_after_detach_works(self, cls):
+        """The crash/recover path: stop, detach, attach a fresh host,
+        restart — the instance serves the new host from scratch."""
+        proto = cls()
+        first = FakeHost(host_id=0)
+        proto.attach(first)
+        proto.subscribe(".a")
+        proto.on_start()
+        proto.publish(make_event(topic=".a.x", validity=60.0,
+                                 now=first.now))
+        proto.on_stop()
+        proto.detach()
+
+        second = FakeHost(host_id=1)
+        proto.attach(second)
+        proto.on_start()
+        event = make_event(seq=5, topic=".a.x", validity=60.0,
+                           now=second.now)
+        proto.publish(event)
+        assert proto.host is second
+        assert second.delivered == [event]
+        proto.on_stop()
+
+    def test_detached_instance_holds_no_host(self, cls):
+        proto = cls()
+        proto.attach(FakeHost())
+        proto.detach()
+        assert proto.host is None

@@ -92,3 +92,26 @@ class TestReliabilityGrid:
         text = reliability_grid(sample_result(), row_key="speed",
                                 col_key="validity", speed=5.0)
         assert len(text.splitlines()) == 3
+
+
+class TestExperimentPivot:
+    def test_protocol_matrix_gets_a_pivot(self):
+        from repro.harness.experiments import ExperimentResult
+        from repro.harness.reporting import experiment_pivot
+        result = ExperimentResult(
+            experiment_id="protocol-matrix", title="t", parameters={},
+            rows=[{"protocol": "frugal", "churn_per_min": 0.0,
+                   "churn_reliability": 1.0},
+                  {"protocol": "gossip", "churn_per_min": 0.0,
+                   "churn_reliability": 0.9}])
+        text = experiment_pivot(result)
+        assert text is not None
+        assert "churn_reliability by protocol" in text
+        assert "frugal" in text and "gossip" in text
+
+    def test_unregistered_experiment_has_none(self):
+        from repro.harness.experiments import ExperimentResult
+        from repro.harness.reporting import experiment_pivot
+        result = ExperimentResult(experiment_id="fig11", title="t",
+                                  parameters={}, rows=[{"x": 1}])
+        assert experiment_pivot(result) is None

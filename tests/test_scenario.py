@@ -33,7 +33,7 @@ class TestConfigValidation:
 
     def test_bad_protocol_rejected(self):
         with pytest.raises(ValueError, match="protocol"):
-            tiny_config(protocol="gossip")
+            tiny_config(protocol="carrier-pigeon")
 
     def test_bad_fraction_rejected(self):
         with pytest.raises(ValueError):
@@ -70,6 +70,16 @@ class TestProtocolFactory:
         assert isinstance(
             make_protocol(tiny_config(protocol="simple-flooding")),
             SimpleFlooding)
+
+    def test_registry_backed_names(self):
+        from repro.baselines import GossipPubSub
+        from repro.harness.scenario import known_protocols
+        names = known_protocols()
+        assert "gossip" in names and "frugal" in names
+        assert "legacy-frugal" not in names          # hidden from sweeps
+        assert "legacy-frugal" in known_protocols(include_hidden=True)
+        assert isinstance(make_protocol(tiny_config(protocol="gossip")),
+                          GossipPubSub)
 
 
 class TestSubscriberSelection:
@@ -158,6 +168,18 @@ class TestRunScenario:
         pubs = [e.event_id.publisher for e in result.published_events]
         assert pubs[0] == result.subscriber_ids[0]
         assert pubs[1] == result.subscriber_ids[1]
+
+    def test_protocol_counters_exclude_warmup(self):
+        """Protocol counters must use the measurement window, like
+        every other metric: a long warm-up adds no heartbeats."""
+        cfg = tiny_config(warmup=20.0, duration=10.0,
+                          publications=(Publication(at=1.0, validity=8.0),))
+        counters = run_scenario(cfg).protocol_counters()
+        assert counters.heartbeats_sent > 0
+        # At the 1 s heartbeat bound, a lifetime tally would be about
+        # n * (warmup + duration) beacons; the window bound is n *
+        # duration (+ slack for jitter/rounding).
+        assert counters.heartbeats_sent <= cfg.n_processes * 12.0
 
     def test_flooding_protocol_runs_too(self):
         result = run_scenario(tiny_config(protocol="simple-flooding"))
