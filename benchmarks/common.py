@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import subprocess
 import sys
 from typing import Dict, List, Tuple
 
@@ -109,24 +110,67 @@ def publish_text(text: str) -> None:
     PUBLISHED.append(text)
 
 
+def git_rev() -> str:
+    """The short revision this measurement belongs to.
+
+    ``REPRO_GIT_REV`` wins (CI sets it from the checkout SHA so detached
+    or shallow clones report the right rev); otherwise ask git;
+    ``unknown`` when neither is available.
+    """
+    env = os.environ.get("REPRO_GIT_REV")
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parent.parent,
+            capture_output=True, text=True, timeout=10)
+    except OSError:
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
 def publish_bench_json(name: str, rows: List[Dict],
                        meta: Dict | None = None) -> pathlib.Path:
     """Record a perf measurement in the repo's standard BENCH format.
 
     The perf trajectory convention: every timing benchmark emits one
     ``BENCH {...}`` line to stdout (greppable from any captured log) and
-    writes the same payload to ``benchmarks/results/<name>.json`` —
-    ``{"bench": name, "meta": {...}, "rows": [...]}`` with one flat dict
-    per measured cell.  Committed results files are the trajectory;
-    compare like against like (same scale, same machine class).
+    *appends* the measurement to ``benchmarks/results/<name>.json``,
+    keyed by git revision —
+    ``{"bench": name, "trajectory": [{"rev": ..., "meta": {...},
+    "rows": [...]}, ...]}`` with one flat dict per measured cell.
+    Re-measuring the same rev replaces that rev's entry instead of
+    duplicating it, so the committed file *is* the trajectory: one entry
+    per measured revision, oldest first.  Compare like against like
+    (same scale, same machine class — both recorded in ``meta``).
     """
-    payload = {"bench": name, "meta": meta or {}, "rows": rows}
-    line = json.dumps(payload, sort_keys=True)
+    entry = {"rev": git_rev(), "meta": meta or {}, "rows": rows}
+    line = json.dumps({"bench": name, **entry}, sort_keys=True)
     print(f"\nBENCH {line}", flush=True)
     PUBLISHED.append(f"BENCH {line}")
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
-    path.write_text(line + "\n")
+    trajectory: List[Dict] = []
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            doc = {}
+        if isinstance(doc, dict):
+            if isinstance(doc.get("trajectory"), list):
+                trajectory = doc["trajectory"]
+            elif "rows" in doc:
+                # Legacy single-payload file: adopt it as the first
+                # trajectory entry so no measurement is thrown away.
+                trajectory = [{"rev": doc.get("rev", "unknown"),
+                               "meta": doc.get("meta", {}),
+                               "rows": doc.get("rows", [])}]
+    trajectory = [e for e in trajectory if e.get("rev") != entry["rev"]]
+    trajectory.append(entry)
+    path.write_text(json.dumps({"bench": name, "trajectory": trajectory},
+                               sort_keys=True, indent=1) + "\n")
     return path
 
 

@@ -43,12 +43,20 @@ class Host(Protocol):
 
     def schedule(self, delay: float, callback: Callable[..., None],
                  *args) -> object:
-        """Arm a cancellable timer; returns a handle with ``.cancel()``."""
+        """Arm a cancellable timer; returns a handle with ``.cancel()``
+        and an ``.active`` property (pending: not fired, not
+        cancelled).  Both sides of the contract are load-bearing — the
+        forwarding layer polls ``.active`` to dedupe its backoff timer —
+        so every Host implementation (sim ``Timer``, rt ``RtTimer``)
+        must provide them."""
 
     def periodic(self, period: float, callback: Callable[[], None],
                  jitter: float = 0.0) -> object:
         """Start a periodic task; returns a handle with ``.stop()``,
-        ``.set_period()`` and ``.period``."""
+        ``.set_period()``, ``.period`` and a ``.running`` property
+        (true until stopped).  The membership layer reads ``.running``
+        and re-tunes via ``.set_period()`` (effective from the next
+        re-arm), so every Host implementation must honour all four."""
 
     def deliver(self, event: Event) -> None:
         """Hand an event to the application layer."""

@@ -43,8 +43,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help="experiment id (fig11..fig20, abl-gc, abl-backoff, "
              "abl-adaptive-hb, abl-ids, abl-dutycycle, abl-outage, "
-             "energy-lifetime, churn-resilience, protocol-matrix), "
-             "'all', or 'list'")
+             "energy-lifetime, churn-resilience, protocol-matrix, "
+             "loopback-bridge), 'all', or 'list'")
     parser.add_argument(
         "--scale", default=None, choices=["smoke", "quick", "paper"],
         help="experiment scale (default: REPRO_SCALE env or quick; "

@@ -760,6 +760,14 @@ def ablation_ids(scale: Optional[Scale] = None) -> ExperimentResult:
     return result
 
 
+def loopback_bridge(scale: Optional[Scale] = None) -> ExperimentResult:
+    """loopback-bridge: sim-predicted vs UDP-measured, side by side."""
+    # Imported lazily: the rt package imports this module for
+    # ExperimentResult, and the runtime is only needed when asked for.
+    from repro.rt.bridge import loopback_bridge as _bridge
+    return _bridge(scale)
+
+
 ALL_EXPERIMENTS: Dict[str, Callable[[Optional[Scale]], ExperimentResult]] = {
     "fig11": fig11, "fig12": fig12, "fig13": fig13, "fig14": fig14,
     "fig15": fig15, "fig16": fig16, "fig17": fig17, "fig18": fig18,
@@ -772,4 +780,5 @@ ALL_EXPERIMENTS: Dict[str, Callable[[Optional[Scale]], ExperimentResult]] = {
     "churn-resilience": churn_resilience,
     "abl-outage": ablation_outage,
     "protocol-matrix": protocol_matrix,
+    "loopback-bridge": loopback_bridge,
 }

@@ -1,0 +1,39 @@
+"""Real-network asyncio runtime for the protocol stack.
+
+Everything under :mod:`repro.core.stack` is written against the minimal
+:class:`~repro.core.base.Host` interface; this package provides the
+*second* implementation of that interface — real wall-clock timers and
+real UDP datagrams instead of the discrete-event kernel:
+
+* :mod:`repro.rt.codec` — a versioned binary wire codec for the three
+  :mod:`repro.net.messages` frame types (round-trip exact, garbage and
+  unknown-version datagrams rejected cleanly);
+* :mod:`repro.rt.host` — :class:`AsyncioHost`, the
+  :class:`~repro.core.base.Host` over ``asyncio``: ``call_later``-backed
+  timers, datagram ``send()`` fanned out over a static peer table, and
+  per-node seeded rng streams so protocol coin-flips stay reproducible;
+* :mod:`repro.rt.cluster` — :class:`LoopbackCluster`, N in-process
+  nodes on ``127.0.0.1`` UDP sockets running any registered protocol
+  composition *unchanged*, with crash/silence injection mirroring the
+  fault subsystem's vocabulary;
+* :mod:`repro.rt.bridge` — the ``loopback-bridge`` experiment comparing
+  sim-predicted against UDP-measured reliability and per-node overhead;
+* :mod:`repro.rt.cli` — ``python -m repro.rt.cli loopback-bridge``.
+
+The runtime executes protocols over a *single-hop* network (every node
+hears every other, no radio model), so measured results are statistical,
+not bit-identical to the sim — see docs/EXPERIMENTS.md for the
+documented tolerance bands.
+"""
+
+from repro.rt.codec import (CodecError, UnsupportedVersion, WIRE_VERSION,
+                            decode, encode)
+from repro.rt.host import AsyncioHost, RtPeriodicTask, RtTimer
+from repro.rt.cluster import (LoopbackCluster, RT_FAULT_KINDS, RtFault,
+                              RtResult)
+
+__all__ = [
+    "AsyncioHost", "CodecError", "LoopbackCluster", "RT_FAULT_KINDS",
+    "RtFault", "RtPeriodicTask", "RtResult", "RtTimer",
+    "UnsupportedVersion", "WIRE_VERSION", "decode", "encode",
+]

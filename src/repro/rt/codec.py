@@ -1,0 +1,308 @@
+"""Versioned binary wire codec for the protocol frame types.
+
+The sim hands :mod:`repro.net.messages` dataclasses to the medium as
+Python objects; a real network needs bytes.  The format is deliberately
+simple — no external serialisation dependency, everything big-endian
+:mod:`struct` — and versioned from day one:
+
+``[magic "FP"] [version u8] [kind u8] [body...]``
+
+* round trips are **exact**: ``decode(encode(m)) == m`` for every field
+  of every frame type, including float64 times, ``None``-able speeds and
+  frozenset subscription sets (``tests/test_rt_codec.py`` drives this
+  with randomized hypothesis cases);
+* malformed input — truncation, trailing garbage, bad magic, undecodable
+  UTF-8, out-of-spec field values — raises :class:`CodecError`, never
+  anything else, so a receive loop can drop bad datagrams without dying;
+* a frame from a *newer* codec raises the :class:`UnsupportedVersion`
+  subclass: a mixed-version cluster degrades to dropping frames it
+  cannot parse instead of crashing (unknown-version tolerance).
+
+Event payloads are application-opaque in the sim (``Event.payload`` is
+``Any``); on the wire only ``None``, ``bytes`` and ``str`` payloads are
+representable — encoding anything else raises :class:`CodecError`
+eagerly, at send time, where the bug is.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, FrozenSet, Tuple
+
+from repro.core.events import Event, EventId
+from repro.core.topics import Topic
+from repro.net.messages import EventBatch, EventIdList, Heartbeat, Message
+
+#: Two-byte frame preamble ("Frugal Pubsub"); anything else is garbage.
+MAGIC = b"FP"
+
+#: Current wire format version; bump on any incompatible layout change.
+WIRE_VERSION = 1
+
+_KIND_HEARTBEAT = 1
+_KIND_EVENT_ID_LIST = 2
+_KIND_EVENT_BATCH = 3
+
+_PAYLOAD_NONE = 0
+_PAYLOAD_BYTES = 1
+_PAYLOAD_TEXT = 2
+
+
+class CodecError(ValueError):
+    """A frame could not be encoded or decoded.
+
+    Every malformed-input failure mode funnels here (truncation, bad
+    magic, trailing bytes, invalid UTF-8, out-of-spec values), so the
+    datagram receive path needs exactly one ``except`` clause.
+    """
+
+
+class UnsupportedVersion(CodecError):
+    """The frame's wire version is not understood by this codec.
+
+    Raised *before* any body parsing, so nodes running an older codec
+    tolerate traffic from newer ones by dropping it.
+    """
+
+
+# --------------------------------------------------------------------------
+# Encoding
+# --------------------------------------------------------------------------
+
+def _w_str(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise CodecError(f"string too long for wire: {len(raw)} bytes")
+    out += struct.pack("!H", len(raw))
+    out += raw
+
+
+def _w_topics(out: bytearray, topics: FrozenSet[Topic]) -> None:
+    if len(topics) > 0xFFFF:
+        raise CodecError(f"too many topics for wire: {len(topics)}")
+    out += struct.pack("!H", len(topics))
+    # Sorted for a canonical encoding; the set round-trips regardless.
+    for topic in sorted(str(t) for t in topics):
+        _w_str(out, topic)
+
+
+def _w_event_id(out: bytearray, eid: EventId) -> None:
+    out += struct.pack("!qq", eid.publisher, eid.seq)
+
+
+def _w_event(out: bytearray, event: Event) -> None:
+    _w_event_id(out, event.event_id)
+    _w_str(out, str(event.topic))
+    out += struct.pack("!ddI", event.validity, event.published_at,
+                       event.payload_bytes)
+    payload = event.payload
+    if payload is None:
+        out += struct.pack("!B", _PAYLOAD_NONE)
+    elif isinstance(payload, bytes):
+        if len(payload) > 0xFFFFFFFF:
+            raise CodecError("payload too large for wire")
+        out += struct.pack("!BI", _PAYLOAD_BYTES, len(payload))
+        out += payload
+    elif isinstance(payload, str):
+        raw = payload.encode("utf-8")
+        if len(raw) > 0xFFFFFFFF:
+            raise CodecError("payload too large for wire")
+        out += struct.pack("!BI", _PAYLOAD_TEXT, len(raw))
+        out += raw
+    else:
+        raise CodecError(
+            f"payload of type {type(payload).__name__} is not wire-"
+            f"representable (use None, bytes or str)")
+
+
+def _encode_heartbeat(out: bytearray, msg: Heartbeat) -> None:
+    out += struct.pack("!q", msg.sender)
+    _w_topics(out, msg.subscriptions)
+    if msg.speed is None:
+        out += struct.pack("!B", 0)
+    else:
+        out += struct.pack("!Bd", 1, msg.speed)
+
+
+def _encode_event_id_list(out: bytearray, msg: EventIdList) -> None:
+    out += struct.pack("!qI", msg.sender, len(msg.event_ids))
+    for eid in msg.event_ids:
+        _w_event_id(out, eid)
+
+
+def _encode_event_batch(out: bytearray, msg: EventBatch) -> None:
+    out += struct.pack("!qHI", msg.sender, len(msg.events),
+                       len(msg.neighbor_ids))
+    for event in msg.events:
+        _w_event(out, event)
+    for nid in msg.neighbor_ids:
+        out += struct.pack("!q", nid)
+
+
+def encode(message: Message) -> bytes:
+    """Serialise a protocol frame to its on-the-wire bytes.
+
+    Raises :class:`CodecError` for frame types the wire format does not
+    know, for non-wire-representable payloads, and for fields outside
+    the format's ranges (e.g. node ids beyond 64 bits).
+    """
+    out = bytearray(MAGIC)
+    out += struct.pack("!B", WIRE_VERSION)
+    try:
+        if isinstance(message, Heartbeat):
+            out += struct.pack("!B", _KIND_HEARTBEAT)
+            _encode_heartbeat(out, message)
+        elif isinstance(message, EventIdList):
+            out += struct.pack("!B", _KIND_EVENT_ID_LIST)
+            _encode_event_id_list(out, message)
+        elif isinstance(message, EventBatch):
+            out += struct.pack("!B", _KIND_EVENT_BATCH)
+            _encode_event_batch(out, message)
+        else:
+            raise CodecError(
+                f"no wire encoding for {type(message).__name__}")
+    except struct.error as exc:
+        raise CodecError(f"field out of wire range: {exc}") from None
+    return bytes(out)
+
+
+# --------------------------------------------------------------------------
+# Decoding
+# --------------------------------------------------------------------------
+
+class _Reader:
+    """Bounds-checked cursor over a received datagram."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        """The next ``n`` raw bytes, or :class:`CodecError` on underrun."""
+        end = self.pos + n
+        if end > len(self.data):
+            raise CodecError(
+                f"truncated frame: wanted {n} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos}")
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def unpack(self, fmt: str) -> tuple:
+        """``struct.unpack`` the next ``calcsize(fmt)`` bytes."""
+        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+
+    def r_str(self) -> str:
+        """A length-prefixed UTF-8 string."""
+        (length,) = self.unpack("!H")
+        raw = self.take(length)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid UTF-8 on wire: {exc}") from None
+
+    @property
+    def exhausted(self) -> bool:
+        """Has every byte of the datagram been consumed?"""
+        return self.pos == len(self.data)
+
+
+def _r_topic(reader: _Reader) -> Topic:
+    text = reader.r_str()
+    try:
+        return Topic(text)
+    except (ValueError, TypeError) as exc:
+        raise CodecError(f"invalid topic on wire: {exc}") from None
+
+
+def _r_event_id(reader: _Reader) -> EventId:
+    publisher, seq = reader.unpack("!qq")
+    return EventId(publisher, seq)
+
+
+def _r_event(reader: _Reader) -> Event:
+    event_id = _r_event_id(reader)
+    topic = _r_topic(reader)
+    validity, published_at, payload_bytes = reader.unpack("!ddI")
+    (tag,) = reader.unpack("!B")
+    if tag == _PAYLOAD_NONE:
+        payload = None
+    elif tag == _PAYLOAD_BYTES:
+        (length,) = reader.unpack("!I")
+        payload = reader.take(length)
+    elif tag == _PAYLOAD_TEXT:
+        (length,) = reader.unpack("!I")
+        raw = reader.take(length)
+        try:
+            payload = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid UTF-8 payload: {exc}") from None
+    else:
+        raise CodecError(f"unknown payload tag {tag}")
+    try:
+        return Event(event_id=event_id, topic=topic, validity=validity,
+                     published_at=published_at,
+                     payload_bytes=payload_bytes, payload=payload)
+    except ValueError as exc:
+        raise CodecError(f"out-of-spec event on wire: {exc}") from None
+
+
+def _decode_heartbeat(reader: _Reader) -> Heartbeat:
+    (sender,) = reader.unpack("!q")
+    (n_topics,) = reader.unpack("!H")
+    topics = frozenset(_r_topic(reader) for _ in range(n_topics))
+    (has_speed,) = reader.unpack("!B")
+    if has_speed not in (0, 1):
+        raise CodecError(f"invalid speed flag {has_speed}")
+    speed = reader.unpack("!d")[0] if has_speed else None
+    return Heartbeat(sender=sender, subscriptions=topics, speed=speed)
+
+
+def _decode_event_id_list(reader: _Reader) -> EventIdList:
+    sender, n_ids = reader.unpack("!qI")
+    ids = tuple(_r_event_id(reader) for _ in range(n_ids))
+    return EventIdList(sender=sender, event_ids=ids)
+
+
+def _decode_event_batch(reader: _Reader) -> EventBatch:
+    sender, n_events, n_neighbors = reader.unpack("!qHI")
+    events = tuple(_r_event(reader) for _ in range(n_events))
+    neighbors = tuple(reader.unpack("!q")[0] for _ in range(n_neighbors))
+    return EventBatch(sender=sender, events=events, neighbor_ids=neighbors)
+
+
+_DECODERS: Dict[int, Callable[[_Reader], Message]] = {
+    _KIND_HEARTBEAT: _decode_heartbeat,
+    _KIND_EVENT_ID_LIST: _decode_event_id_list,
+    _KIND_EVENT_BATCH: _decode_event_batch,
+}
+
+
+def decode(data: bytes) -> Message:
+    """Parse one datagram back into its protocol frame.
+
+    Raises :class:`CodecError` on any malformed input (wrong magic,
+    truncation, trailing bytes, bad field values) and its
+    :class:`UnsupportedVersion` subclass when the frame announces a wire
+    version this codec does not speak.  Never raises anything else, so
+    the node receive loop survives arbitrary garbage.
+    """
+    reader = _Reader(bytes(data))
+    if reader.take(len(MAGIC)) != MAGIC:
+        raise CodecError("bad magic: not a protocol frame")
+    (version,) = reader.unpack("!B")
+    if version != WIRE_VERSION:
+        raise UnsupportedVersion(
+            f"wire version {version} not supported (this codec speaks "
+            f"{WIRE_VERSION})")
+    (kind,) = reader.unpack("!B")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise CodecError(f"unknown frame kind {kind}")
+    message = decoder(reader)
+    if not reader.exhausted:
+        raise CodecError(
+            f"{len(reader.data) - reader.pos} trailing bytes after frame")
+    return message

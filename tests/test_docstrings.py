@@ -23,7 +23,7 @@ import pytest
 DOCUMENTED_PACKAGES = ("repro.sim", "repro.net", "repro.harness",
                        "repro.faults", "repro.core.stack",
                        "repro.core.registry", "repro.baselines.gossip",
-                       "repro.baselines.reference")
+                       "repro.baselines.reference", "repro.rt")
 
 
 def _iter_modules(package_name: str) -> Iterator[object]:

@@ -202,5 +202,6 @@ class TestRegistry:
         expected = {f"fig{i}" for i in range(11, 21)} | {
             "abl-gc", "abl-backoff", "abl-adaptive-hb", "abl-ids",
             "abl-dutycycle", "abl-outage", "related-work",
-            "energy-lifetime", "churn-resilience", "protocol-matrix"}
+            "energy-lifetime", "churn-resilience", "protocol-matrix",
+            "loopback-bridge"}
         assert set(ALL_EXPERIMENTS) == expected
