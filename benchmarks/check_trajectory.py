@@ -1,0 +1,84 @@
+"""Fail loudly when a bench skipped its perf-trajectory append.
+
+The BENCH trajectory convention (``benchmarks/common.py:
+publish_bench_json``) requires every timing benchmark to append a
+``{rev, meta, rows}`` entry to ``benchmarks/results/<name>.json``, keyed
+by git revision.  The convention is only useful if it cannot silently
+rot: CI runs this checker *after* the bench steps, and it exits non-zero
+— naming the missing bench — when the current revision has no entry (or
+an empty one) in a bench's trajectory file.
+
+Usage::
+
+    python benchmarks/check_trajectory.py bench_protocols bench_scale
+
+``REPRO_GIT_REV`` overrides revision discovery exactly as it does for
+the benches themselves, so the checker and the benches always agree on
+the key they are talking about.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def current_rev() -> str:
+    """The short revision the trajectory entry must be keyed by."""
+    env = os.environ.get("REPRO_GIT_REV")
+    if env:
+        return env
+    out = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        cwd=pathlib.Path(__file__).resolve().parent.parent,
+        capture_output=True, text=True, timeout=10)
+    rev = out.stdout.strip()
+    if out.returncode != 0 or not rev:
+        sys.exit("check_trajectory: cannot determine the current revision "
+                 "(set REPRO_GIT_REV or run inside a git checkout)")
+    return rev
+
+
+def check(name: str, rev: str) -> str | None:
+    """One bench's verdict: None when its trajectory has ``rev``."""
+    path = RESULTS_DIR / f"{name}.json"
+    if not path.exists():
+        return f"{name}: {path} does not exist — the bench never appended"
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return f"{name}: {path} is not valid JSON ({exc})"
+    trajectory = doc.get("trajectory") if isinstance(doc, dict) else None
+    if not isinstance(trajectory, list) or not trajectory:
+        return f"{name}: {path} has no trajectory entries"
+    entry = next((e for e in trajectory if e.get("rev") == rev), None)
+    if entry is None:
+        revs = [e.get("rev", "?") for e in trajectory]
+        return (f"{name}: no trajectory entry for rev {rev} "
+                f"(recorded revs: {revs}) — the bench ran without "
+                f"appending, or REPRO_GIT_REV disagreed")
+    if not entry.get("rows"):
+        return f"{name}: rev {rev} entry has no rows"
+    return None
+
+
+def main(argv: list[str]) -> int:
+    """Check every named bench; print verdicts; non-zero on any failure."""
+    if not argv:
+        sys.exit("usage: check_trajectory.py <bench-name> [...]")
+    rev = current_rev()
+    failures = [msg for name in argv if (msg := check(name, rev))]
+    for msg in failures:
+        print(f"TRAJECTORY MISSING — {msg}", file=sys.stderr)
+    if not failures:
+        print(f"trajectory ok: {', '.join(argv)} all carry rev {rev}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -45,7 +45,7 @@ from repro.mobility import (CitySection, MobilityModel, RandomWaypoint,
                             Stationary, StreetMap, campus_map)
 from repro.net import (MediumConfig, Node, RadioConfig, SizeModel,
                        WirelessMedium)
-from repro.sim import RngRegistry, Simulator
+from repro.sim import RngRegistry, Simulator, TimerWheel
 from repro.sim.space import Vec2
 
 def known_protocols(include_hidden: bool = False) -> Tuple[str, ...]:
@@ -205,6 +205,10 @@ class ScenarioConfig:
     speed_sensor: bool = True
     energy: Optional[EnergyConfig] = None
     faults: Optional[FaultConfig] = None
+    #: Coalesce every node's periodic tasks onto one shared kernel
+    #: timer wheel (identical firing times and tie-order, fewer kernel
+    #: events); ``False`` arms one kernel timer per periodic task.
+    coalesced_timers: bool = True
 
     def __post_init__(self) -> None:
         if self.n_processes < 1:
@@ -243,14 +247,31 @@ class ScenarioConfig:
         return replace(self, **changes)
 
     def with_flat_medium(self) -> "ScenarioConfig":
-        """The paired config running the O(N) full-scan wireless medium.
+        """The paired all-scalar reference config.
 
-        Identical in every respect except ``medium.spatial_index``; used
-        by the equality tests and ``benchmarks/bench_scale.py`` to prove
-        the grid-backed medium reproduces the flat scan bit for bit.
+        Switches off every acceleration layer at once — the spatial
+        grid, the numpy batch engine and the coalesced timer wheel — so
+        the world runs the naive O(N) full-scan medium with one kernel
+        timer per periodic task.  The equality tests and
+        ``benchmarks/bench_scale.py`` prove the accelerated stack
+        reproduces this reference bit for bit.
         """
         return self.with_changes(
-            medium=replace(self.medium, spatial_index=False))
+            medium=replace(self.medium, spatial_index=False,
+                           vectorized=False),
+            coalesced_timers=False)
+
+    def with_scalar_engine(self) -> "ScenarioConfig":
+        """The grid-backed but scalar config (PR-3 behaviour).
+
+        Keeps the spatial index's candidate pruning while switching off
+        the numpy batch engine and the timer wheel — the middle rung of
+        the vectorized / grid-scalar / flat-scalar equality ladder, and
+        the baseline the vectorized speedup is measured against.
+        """
+        return self.with_changes(
+            medium=replace(self.medium, vectorized=False),
+            coalesced_timers=False)
 
     # -- convenience presets --------------------------------------------------
 
@@ -508,6 +529,7 @@ def build_world(config: ScenarioConfig) -> World:
     """
     sim = Simulator()
     rngs = RngRegistry(config.seed)
+    wheel = TimerWheel(sim) if config.coalesced_timers else None
     medium = WirelessMedium(sim, config.radio, config=config.medium,
                             sizes=config.sizes, rng=rngs.stream("medium"))
     collector = MetricsCollector(medium)
@@ -522,7 +544,8 @@ def build_world(config: ScenarioConfig) -> World:
                     mobility=config.mobility.build(i),
                     protocol=protocol,
                     rng=rngs.stream("node", i),
-                    speed_sensor=config.speed_sensor)
+                    speed_sensor=config.speed_sensor,
+                    wheel=wheel)
         topic = (config.event_topic if i in subscriber_set
                  else config.other_topic)
         protocol.subscribe(topic)

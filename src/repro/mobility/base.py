@@ -22,8 +22,9 @@ exact receiver set (see :mod:`repro.net.medium`).
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.sim.kernel import Simulator
 from repro.sim.space import Vec2
@@ -85,6 +86,12 @@ class MobilityModel(abc.ABC):
         #: ``on_move`` notifications; ``None`` disables mid-leg re-anchors
         #: (anchors then only fire at leg boundaries).
         self.anchor_interval_m: Optional[float] = None
+        #: Observer notified (no arguments) whenever the current leg
+        #: changes — at every leg boundary and on :meth:`stop`.  The
+        #: vectorized medium subscribes and re-reads :meth:`leg_state`,
+        #: which stays exact for the *whole* leg, so leg-change pushes
+        #: are much rarer than position anchors.
+        self.on_leg_change: Optional[Callable[[], None]] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -106,6 +113,8 @@ class MobilityModel(abc.ABC):
         self._cancel_anchor_timer()
         self._pause = PauseLeg(here, float("inf"), self._sim.now)
         self._leg = None
+        if self.on_leg_change is not None:
+            self.on_leg_change()
         if self.on_move is not None:
             self.on_move(here)
 
@@ -138,6 +147,34 @@ class MobilityModel(abc.ABC):
             return 0.0
         assert self._leg is not None
         return self._leg.speed
+
+    def leg_state(self) -> Tuple[float, float, float, float, float, float]:
+        """The current leg as ``(x0, y0, x1, y1, t0, dur)``.
+
+        An exact encoding of :meth:`position` for the *remainder of the
+        leg*: evaluating ``u = min(1, max(0, (now - t0) / dur))`` then
+        ``(x0 + (x1 - x0) * u, y0 + (y1 - y0) * u)`` reproduces
+        ``position()`` bit for bit at any ``now`` until the next leg
+        change.  Pauses and degenerate legs encode as a parked point
+        with ``dur = inf`` (``u`` is then exactly 0).  This is what the
+        vectorized medium's :class:`~repro.sim.batch.LegTable` consumes.
+        """
+        self._require_started()
+        if self._pause is not None:
+            at = self._pause.at
+            return (at.x, at.y, at.x, at.y, self._pause.start_time,
+                    math.inf)
+        leg = self._leg
+        assert leg is not None
+        if leg.speed <= 0.0:
+            p = leg.start
+            return (p.x, p.y, p.x, p.y, leg.start_time, math.inf)
+        total = leg.duration
+        if total <= 0.0:
+            p = leg.end
+            return (p.x, p.y, p.x, p.y, leg.start_time, math.inf)
+        return (leg.start.x, leg.start.y, leg.end.x, leg.end.y,
+                leg.start_time, total)
 
     # -- to be provided by concrete models -----------------------------------
 
@@ -183,6 +220,8 @@ class MobilityModel(abc.ABC):
                     leg.duration, self._on_leg_end, leg.end)
         else:  # pragma: no cover - defensive
             raise TypeError(f"_next_leg returned {type(nxt).__name__}")
+        if self.on_leg_change is not None:
+            self.on_leg_change()
         self._announce_anchor()
 
     def _on_leg_end(self, endpoint: Vec2) -> None:

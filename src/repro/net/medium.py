@@ -50,16 +50,48 @@ insertion order, which only differs after a mid-run re-registration
 produce exactly equal results in every lifecycle
 (``tests/test_spatial_medium.py`` and ``benchmarks/bench_scale.py``
 assert float equality of per-seed summaries).
+
+Batch frame resolution
+----------------------
+With ``MediumConfig.vectorized`` on (the default, when numpy is
+importable) the grid still prunes candidates, but the exact re-filter,
+carrier sense and collision resolution run through the numpy engine of
+:mod:`repro.sim.batch`:
+
+* nodes push *leg states* (:meth:`MobilityModel.leg_state`) into a
+  :class:`~repro.sim.batch.LegTable`, so one array expression
+  interpolates every candidate's exact position at once instead of one
+  Python ``position()`` call per candidate;
+* recent transmissions live in a :class:`~repro.sim.batch.TxLog`;
+  carrier sense and per-receiver collision verdicts are array queries;
+* the K per-receiver delivery events of one frame collapse into a
+  *single* kernel event (:meth:`WirelessMedium._deliver_batch`).  This
+  is exactly order-equivalent to K consecutive events: the scalar path
+  schedules them back-to-back with consecutive sequence numbers at the
+  same instant, and a frame's overlap set is final at its end time (the
+  overlap predicate is strict, so a transmission *starting* at the
+  delivery instant never overlaps), hence no event can observably
+  interleave between the per-receiver deliveries;
+* every distance predicate uses the band-prefilter + exact
+  ``math.hypot`` confirmation of :mod:`repro.sim.batch`, so verdicts
+  are bit-identical to the scalar engine, not merely close
+  (``tests/test_vectorized_medium.py`` asserts exact summary equality
+  across every scenario family).
+
+``vectorized=False`` (or an import-less numpy) selects the scalar
+engine; ``spatial_index=False`` implies it.
 """
 
 from __future__ import annotations
 
+import bisect
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.net.messages import Message, SizeModel
 from repro.net.radio import RadioConfig
+from repro.sim import batch
 from repro.sim.kernel import Simulator
 from repro.sim.space import SpatialGrid, Vec2
 
@@ -88,6 +120,13 @@ class MediumConfig:
         Resolve receivers/collisions through the spatial grid (default).
         ``False`` falls back to the flat O(N) scan; results are exactly
         equal either way.
+    vectorized:
+        Run the exact re-filter, carrier sense and collision resolution
+        through the numpy batch engine (:mod:`repro.sim.batch`) and
+        coalesce each frame's per-receiver deliveries into one kernel
+        event.  Requires ``spatial_index`` (the grid provides the
+        candidate pruning) and numpy; otherwise the scalar engine is
+        used silently.  Results are bit-identical either way.
     anchor_slack_m:
         Maximum distance (metres) a node's true position may drift from
         its indexed anchor before the mobility model re-anchors it.
@@ -106,6 +145,7 @@ class MediumConfig:
     frame_loss_probability: float = 0.0
     model_collisions: bool = True
     spatial_index: bool = True
+    vectorized: bool = True
     anchor_slack_m: Optional[float] = None
     history_horizon_s: float = 1.0
 
@@ -257,15 +297,30 @@ class WirelessMedium:
         slack = self.config.anchor_slack_m
         self._slack_m = slack if slack is not None else range_m / 8.0
         self._query_radius_m = range_m + self._slack_m
+        vectorized = (self.config.vectorized and self.config.spatial_index
+                      and batch.HAVE_NUMPY)
         if self.config.spatial_index:
             self._grid: Optional[SpatialGrid] = \
                 SpatialGrid(self._query_radius_m)
-            self._tx_index: Optional[_TransmissionIndex] = \
-                _TransmissionIndex(self._query_radius_m,
-                                   self.config.history_horizon_s)
         else:
             self._grid = None
-            self._tx_index = None
+        if vectorized:
+            self._legs: Optional[batch.LegTable] = batch.LegTable()
+            self._txlog: Optional[batch.TxLog] = \
+                batch.TxLog(self.config.history_horizon_s)
+            self._tx_index: Optional[_TransmissionIndex] = None
+        else:
+            self._legs = None
+            self._txlog = None
+            self._tx_index = (_TransmissionIndex(
+                self._query_radius_m, self.config.history_horizon_s)
+                if self.config.spatial_index else None)
+        # Incrementally sorted receiver snapshot for the flat scan (and
+        # any other ascending-id full iteration): maintained on
+        # register/unregister instead of re-sorting the node dict per
+        # query.
+        self._sorted_ids: List[int] = []
+        self._sorted_nodes: List["Node"] = []
         # Observability hooks (metrics collector subscribes to these).
         self.on_transmit: Optional[Callable[[int, Message, int], None]] = None
         self.on_receive: Optional[Callable[[int, Message], None]] = None
@@ -299,6 +354,9 @@ class WirelessMedium:
         if node.id in self._nodes:
             raise ValueError(f"duplicate node id {node.id}")
         self._nodes[node.id] = node
+        idx = bisect.bisect_left(self._sorted_ids, node.id)
+        self._sorted_ids.insert(idx, node.id)
+        self._sorted_nodes.insert(idx, node)
         if self._grid is None:
             return
         mobility = getattr(node, "mobility", None)
@@ -308,6 +366,13 @@ class WirelessMedium:
             except RuntimeError:
                 return
             self._grid.insert(node.id, pos)
+            if self._legs is not None:
+                # Seed a parked leg so the batch engine can resolve the
+                # node immediately; a node with a live mobility model
+                # overwrites this with its true leg when the leg-change
+                # wiring pushes (same call stack, before any query).
+                self._legs.note(node.id, batch.static_state(
+                    pos.x, pos.y, self.sim.now))
 
     def unregister(self, node_id: int) -> None:
         """Remove a node from the medium and from the spatial index.
@@ -317,9 +382,16 @@ class WirelessMedium:
         keep pushing anchors (the device is still on a moving vehicle),
         which :meth:`note_position` discards for unknown ids.
         """
-        self._nodes.pop(node_id, None)
+        if self._nodes.pop(node_id, None) is not None:
+            idx = bisect.bisect_left(self._sorted_ids, node_id)
+            if idx < len(self._sorted_ids) and \
+                    self._sorted_ids[idx] == node_id:
+                self._sorted_ids.pop(idx)
+                self._sorted_nodes.pop(idx)
         if self._grid is not None:
             self._grid.remove(node_id)
+        if self._legs is not None:
+            self._legs.remove(node_id)
 
     def note_position(self, node_id: int, pos: Vec2) -> None:
         """Record a position anchor pushed by a node's mobility model.
@@ -329,6 +401,24 @@ class WirelessMedium:
         """
         if self._grid is not None and node_id in self._nodes:
             self._grid.insert(node_id, pos)
+
+    def note_leg(self, node_id: int, state: "batch.LegState") -> None:
+        """Record a leg-state push from a node's mobility model.
+
+        The batch engine's exact-position source: one push per leg
+        boundary keeps :class:`~repro.sim.batch.LegTable` able to
+        reproduce ``position()`` bit for bit until the next boundary.
+        Pushes for unregistered ids are dropped, mirroring
+        :meth:`note_position`; a no-op under the scalar engine.
+        """
+        if self._legs is not None and node_id in self._nodes:
+            self._legs.note(node_id, state)
+
+    @property
+    def wants_leg_state(self) -> bool:
+        """True when nodes must wire :meth:`note_leg` pushes (the
+        vectorized engine is active)."""
+        return self._legs is not None
 
     @property
     def position_slack_m(self) -> Optional[float]:
@@ -358,9 +448,14 @@ class WirelessMedium:
             raise ValueError(f"radius_m must be >= 0: {radius_m}")
         if self._grid is not None:
             ids = self._grid.query_radius(pos, radius_m + self._slack_m)
+            if self._legs is not None:
+                hits = self._legs.audible(
+                    [i for i in ids if i in self._nodes],
+                    self.sim.now, pos.x, pos.y, radius_m)
+                return [self._nodes[i] for i, _ in hits]
             candidates = [self._nodes[i] for i in ids if i in self._nodes]
         else:
-            candidates = [node for _, node in sorted(self._nodes.items())]
+            candidates = list(self._sorted_nodes)
         return [node for node in candidates
                 if node.position().distance_to(pos) <= radius_m]
 
@@ -400,6 +495,8 @@ class WirelessMedium:
         in-flight frame, which is how a half-duplex MAC serialises a
         node's back-to-back sends instead of corrupting both."""
         now = self.sim.now
+        if self._txlog is not None:
+            return self._txlog.busy(pos.x, pos.y, now)
         if self._tx_index is not None:
             return self._tx_index.channel_busy(pos, now,
                                                self._query_radius_m)
@@ -417,7 +514,11 @@ class WirelessMedium:
         tx = Transmission(sender=sender.id, sender_pos=pos,
                           range_m=self.radio.communication_range_m(),
                           start=now, end=now + duration, message=message)
-        if self._tx_index is not None:
+        tx_seq = -1
+        if self._txlog is not None:
+            tx_seq = self._txlog.add(sender.id, pos.x, pos.y, tx.range_m,
+                                     tx.start, tx.end)
+        elif self._tx_index is not None:
             self._tx_index.add(tx, now)
         else:
             self._prune_active(now)
@@ -429,6 +530,9 @@ class WirelessMedium:
             self.on_transmit(sender.id, message, size)
         if self.on_tx_window is not None:
             self.on_tx_window(sender.id, duration)
+        if self._legs is not None:
+            self._transmit_batch(sender.id, pos, tx, tx_seq, duration)
+            return
         # Snapshot receivers at transmission start.  A sleeping radio is
         # deaf *and* free: it neither receives the frame nor pays the RX
         # energy for it.  Iterate a snapshot: charging an RX window can
@@ -442,6 +546,36 @@ class WirelessMedium:
                     self.on_rx_window(node.id, duration)
                 self.sim.schedule(duration, self._deliver, tx, node.id,
                                   rx_pos)
+
+    def _transmit_batch(self, sender_id: int, pos: Vec2, tx: Transmission,
+                        tx_seq: int, duration: float) -> None:
+        """Vectorized receiver resolution + one coalesced delivery event.
+
+        The audible set is resolved for all grid candidates at once
+        (exact interpolated positions from the :class:`LegTable`), then
+        walked in the same ascending-id order as the scalar loop: the
+        listening filter and RX-energy charges happen per node, in the
+        identical sequence, so battery depletions mid-walk unfold
+        exactly as they do scalar.  The per-receiver deliveries collapse
+        into a single :meth:`_deliver_batch` event — order-equivalent to
+        the scalar path's K consecutive same-instant events (see the
+        module docstring).
+        """
+        audible = self._legs.audible(
+            self._grid.query_radius(pos, self._query_radius_m,
+                                    exclude=sender_id),
+            tx.start, pos.x, pos.y, tx.range_m)
+        receivers: List[Tuple[int, Vec2]] = []
+        for node_id, rx_pos in audible:
+            node = self._nodes.get(node_id)
+            if node is None or not node.listening:
+                continue
+            if self.on_rx_window is not None:
+                self.on_rx_window(node_id, duration)
+            receivers.append((node_id, rx_pos))
+        if receivers:
+            self.sim.schedule(duration, self._deliver_batch, tx, tx_seq,
+                              receivers)
 
     def _receiver_candidates(self, sender_id: int,
                              pos: Vec2) -> List["Node"]:
@@ -457,7 +591,7 @@ class WirelessMedium:
             ids = self._grid.query_radius(pos, self._query_radius_m,
                                           exclude=sender_id)
             return [self._nodes[i] for i in ids if i in self._nodes]
-        return [node for _, node in sorted(self._nodes.items())]
+        return list(self._sorted_nodes)
 
     def _trim_history(self, now: float) -> None:
         # Keep only transmissions that can still collide with a live one.
@@ -482,8 +616,45 @@ class WirelessMedium:
         node = self._nodes.get(receiver_id)
         if node is None or not node.listening:
             return  # crashed, drained or duty-cycled off mid-frame
-        if self.config.model_collisions and self._corrupted(tx, receiver_id,
-                                                            rx_pos):
+        corrupted = self.config.model_collisions and \
+            self._corrupted(tx, receiver_id, rx_pos)
+        self._finish_delivery(tx, receiver_id, node, corrupted)
+
+    def _deliver_batch(self, tx: Transmission, tx_seq: int,
+                       receivers: List[Tuple[int, Vec2]]) -> None:
+        """Deliver one frame to its whole receiver set in one event.
+
+        Collision verdicts are computed once for the batch — safe
+        because a frame's overlap set is final at its end time (the
+        overlap predicate is strict) and verdicts consume no RNG, so a
+        verdict computed up front equals one computed between
+        deliveries.  Receivers are then walked in the same ascending-id
+        order as the scalar path's consecutive delivery events,
+        consuming identical loss draws and delivering identically —
+        including re-checking liveness per receiver, since an earlier
+        delivery's protocol reaction can crash or silence a later
+        receiver in the same instant.
+        """
+        corrupted = None
+        if self.config.model_collisions:
+            corrupted = self._txlog.corrupt_verdicts(
+                tx_seq, tx.start, tx.end,
+                [node_id for node_id, _ in receivers],
+                [rx_pos for _, rx_pos in receivers])
+        for k, (receiver_id, _) in enumerate(receivers):
+            node = self._nodes.get(receiver_id)
+            if node is None or not node.listening:
+                continue  # crashed, drained or duty-cycled off mid-frame
+            self._finish_delivery(tx, receiver_id, node,
+                                  corrupted is not None
+                                  and bool(corrupted[k]))
+
+    def _finish_delivery(self, tx: Transmission, receiver_id: int,
+                         node: "Node", corrupted: bool) -> None:
+        """Common delivery tail: collision/loss/fault gauntlet, then
+        hand the frame to the receiver (scalar and batch paths share
+        this so drop accounting and RNG draw order cannot diverge)."""
+        if corrupted:
             self.frames_collided += 1
             if self.on_drop is not None:
                 self.on_drop(receiver_id, tx.message, "collision")

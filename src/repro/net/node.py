@@ -15,22 +15,31 @@ from repro.core.events import Event
 from repro.mobility.base import MobilityModel
 from repro.net.medium import WirelessMedium
 from repro.net.messages import Message
-from repro.sim.kernel import PeriodicTask, Simulator, Timer
+from repro.sim.kernel import (PeriodicTask, Simulator, Timer, TimerWheel,
+                              WheelPeriodicTask)
 from repro.sim.space import Vec2
 
 
 class Node:
-    """One mobile device running a pub/sub protocol instance."""
+    """One mobile device running a pub/sub protocol instance.
+
+    When constructed with a :class:`TimerWheel`, all of the node's
+    periodic tasks (heartbeats, garbage collection...) are coalesced
+    onto it — one kernel service event can tick many nodes — with
+    exactly the same firing times and tie-order as per-node timers.
+    """
 
     def __init__(self, node_id: int, sim: Simulator, medium: WirelessMedium,
                  mobility: MobilityModel, protocol: PubSubProtocol,
-                 rng, speed_sensor: bool = True):
+                 rng, speed_sensor: bool = True,
+                 wheel: Optional[TimerWheel] = None):
         self.id = node_id
         self.sim = sim
         self.medium = medium
         self.mobility = mobility
         self.protocol = protocol
         self._rng = rng
+        self._wheel = wheel
         self.speed_sensor = speed_sensor
         self.alive = False
         self.asleep = False
@@ -61,6 +70,13 @@ class Node:
             # slack-bounded from here on.
             if mobility.started:
                 mobility.refresh_anchor()
+        # Batch-engine wiring: leg-state pushes let the medium's
+        # LegTable interpolate this node's exact position without a
+        # per-frame position() call (see repro.sim.batch).
+        if medium.wants_leg_state:
+            mobility.on_leg_change = self._announce_leg
+            if mobility.started:
+                self._announce_leg()
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -119,6 +135,7 @@ class Node:
         if self.mobility.on_move is not None:
             self.mobility.on_move = None
             self.mobility.refresh_anchor()   # cancels the armed re-anchor
+        self.mobility.on_leg_change = None   # medium dropped our leg row
         if self.on_radio_state is not None:
             self.on_radio_state(self, "down")
 
@@ -138,6 +155,10 @@ class Node:
         if self.medium.position_slack_m is not None:
             self.mobility.on_move = self._announce_position
             self.mobility.refresh_anchor()
+        if self.medium.wants_leg_state:
+            self.mobility.on_leg_change = self._announce_leg
+            if self.mobility.started:
+                self._announce_leg()
         self.recover()
 
     # -- duty cycling ---------------------------------------------------------------
@@ -252,11 +273,20 @@ class Node:
             callback(*args)
 
     def periodic(self, period: float, callback: Callable[[], None],
-                 jitter: float = 0.0) -> PeriodicTask:
+                 jitter: float = 0.0):
         """Start a repeating task every ``period`` seconds (plus
-        ``U(0, jitter)`` per tick), stopped automatically on crash."""
-        task = PeriodicTask(self.sim, period, callback, jitter=jitter,
-                            rng=self._rng)
+        ``U(0, jitter)`` per tick), stopped automatically on crash.
+
+        Coalesced onto the shared :class:`TimerWheel` when the world
+        provides one (identical semantics, fewer kernel events);
+        otherwise a plain per-node :class:`PeriodicTask`.
+        """
+        if self._wheel is not None:
+            task = WheelPeriodicTask(self._wheel, period, callback,
+                                     jitter=jitter, rng=self._rng)
+        else:
+            task = PeriodicTask(self.sim, period, callback, jitter=jitter,
+                                rng=self._rng)
         self._periodics.append(task)
         return task
 
@@ -285,6 +315,10 @@ class Node:
     def _announce_position(self, pos: Vec2) -> None:
         """Forward a mobility anchor push into the medium's spatial index."""
         self.medium.note_position(self.id, pos)
+
+    def _announce_leg(self) -> None:
+        """Forward a leg-state push into the medium's batch engine."""
+        self.medium.note_leg(self.id, self.mobility.leg_state())
 
     def receive(self, message: Message) -> None:
         """Frame arrival from the medium; ignored while crashed."""

@@ -14,7 +14,9 @@ facilities the protocol layer actually observes:
   used by the wireless medium for O(neighbourhood) range queries.
 """
 
-from repro.sim.kernel import Simulator, Timer, PeriodicTask, SimulationError
+from repro.sim.kernel import (Simulator, Timer, PeriodicTask,
+                              SimulationError, TimerWheel, WheelPeriodicTask,
+                              WheelTimer)
 from repro.sim.rng import RngRegistry
 from repro.sim.space import Vec2, SpatialGrid
 
@@ -23,6 +25,9 @@ __all__ = [
     "Timer",
     "PeriodicTask",
     "SimulationError",
+    "TimerWheel",
+    "WheelPeriodicTask",
+    "WheelTimer",
     "RngRegistry",
     "Vec2",
     "SpatialGrid",

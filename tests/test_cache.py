@@ -64,6 +64,7 @@ FIELD_CHANGES = {
                            battery_capacity_j=25.0),
     "faults": FaultConfig(churn=ChurnConfig(mean_session_s=60.0,
                                             mean_rest_s=20.0)),
+    "coalesced_timers": False,
 }
 
 #: A fully-populated fault config plus one alternative value per
