@@ -1,0 +1,124 @@
+"""bench_shard — the sharded engine: K-invariance priced in wall-clock.
+
+Runs one large city-scale world (``city_scale_scenario``: a street grid
+at the paper's city density, N = 2000 by default) on the classic
+single-world engine and on the sharded engine at K ∈ {1, 2, 4}, and
+asserts
+
+* **exact K-invariance**: the per-seed summaries at K = 1, 2 and 4 are
+  equal with ``==`` on floats — the tentpole guarantee of
+  ``repro.sim.shard`` (the classic engine is timed as a reference but
+  not compared: sharding replaces the medium's shared RNG streams with
+  per-node streams, so classic and sharded are two distinct, each
+  internally deterministic, universes);
+* **speedup**: K = 4 must beat K = 1 by ≥ 2.5× in wall-clock — asserted
+  only when the host exposes ≥ 4 cores *and* the full N was measured.
+  On smaller hosts (this repo's CI runner included) the measured
+  numbers are still recorded honestly; a single core cannot pay for
+  process parallelism, and pretending otherwise would poison the
+  trajectory.
+
+Every run appends a rev-keyed entry to
+``benchmarks/results/bench_shard.json`` via ``publish_bench_json`` (the
+BENCH trajectory convention; ``benchmarks/check_trajectory.py`` fails CI
+loudly when the append is skipped).  ``meta`` records the visible core
+count and the shard backend so entries compare like against like.
+
+Scale knobs: ``REPRO_BENCH_SHARD_MAX_N`` caps the population (e.g. 120
+in smoke CI); ``REPRO_SHARD_BACKEND`` picks the worker backend exactly
+as it does for the engine itself (default ``auto``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List
+
+from common import publish_bench_json, publish_text, scale
+from repro.harness.experiments import city_scale_scenario
+from repro.harness.scenario import ScenarioConfig, run_scenario
+
+#: The tentpole population and the shard counts it is priced at.
+DEFAULT_N = 2000
+SHARD_COUNTS = [1, 2, 4]
+#: K=4-vs-K=1 wall-clock floor, asserted on hosts with >= 4 cores.
+SPEEDUP_FLOOR = 2.5
+
+
+def _visible_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _timed(config: ScenarioConfig) -> Dict[str, object]:
+    started = time.perf_counter()
+    result = run_scenario(config)
+    return {"wallclock": time.perf_counter() - started,
+            "summary": result.summary()}
+
+
+def test_shard_scaling(benchmark):
+    s = scale()
+    n = min(DEFAULT_N, int(os.environ.get("REPRO_BENCH_SHARD_MAX_N",
+                                          DEFAULT_N)))
+    base = city_scale_scenario(s, n)
+    cores = _visible_cores()
+    backend = os.environ.get("REPRO_SHARD_BACKEND", "auto")
+
+    rows: List[Dict[str, object]] = []
+    summaries: Dict[int, Dict[str, float]] = {}
+
+    def sweep():
+        rows.clear()
+        summaries.clear()
+        classic = _timed(base)
+        rows.append({"n": n, "shards": 0, "engine": "classic",
+                     "wallclock_s": classic["wallclock"]})
+        baseline = None
+        for k in SHARD_COUNTS:
+            timed = _timed(base.with_changes(shards=k))
+            summaries[k] = timed["summary"]
+            if baseline is None:
+                baseline = timed["wallclock"]
+            rows.append({
+                "n": n, "shards": k, "engine": "sharded",
+                "wallclock_s": timed["wallclock"],
+                "speedup_vs_1shard": baseline / timed["wallclock"]})
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # The tentpole guarantee, asserted unconditionally: summaries are
+    # bit-identical for every shard count.
+    for k in SHARD_COUNTS[1:]:
+        assert summaries[k] == summaries[SHARD_COUNTS[0]], \
+            f"sharded summaries diverged: K={k} vs K={SHARD_COUNTS[0]}"
+
+    lines = [f"bench_shard — city-scale world, N={n}, "
+             f"{cores} visible core(s), backend={backend}",
+             f"{'shards':>7} {'engine':>8} {'wall [s]':>9} {'vs K=1':>7}"]
+    for row in rows:
+        speed = row.get("speedup_vs_1shard")
+        lines.append(
+            f"{row['shards']:>7} {row['engine']:>8} "
+            f"{row['wallclock_s']:>9.2f} "
+            + (f"{speed:>6.2f}x" if speed is not None else f"{'—':>7}"))
+    publish_text("\n".join(lines))
+    publish_bench_json("bench_shard", rows, meta={
+        "scale": s.name, "n": n, "shard_counts": SHARD_COUNTS,
+        "cpu_count": cores, "backend": backend,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_asserted": cores >= 4 and n == DEFAULT_N})
+
+    # Process parallelism cannot beat 2.5x without at least 4 cores to
+    # spread over; the invariance assertion above ran regardless.
+    if cores >= 4 and n == DEFAULT_N:
+        by_k = {row["shards"]: row for row in rows if row["shards"]}
+        got = by_k[4]["speedup_vs_1shard"]
+        assert got >= SPEEDUP_FLOOR, \
+            f"4 shards must be ≥{SPEEDUP_FLOOR}x over 1 shard at " \
+            f"N={DEFAULT_N} on a {cores}-core host, got {got:.2f}x"

@@ -150,11 +150,23 @@ class FaultInjector:
     start, horizon:
         Absolute simulation times bounding the measurement window; all
         fault times are offsets from ``start``.
+    population:
+        The *global* node-id population fault fractions are resolved
+        against.  Defaults to the ids of ``nodes``; the sharded engine
+        passes the whole world's ids so every shard samples identical
+        targets from the shared ``("faults", ...)`` streams and then
+        applies only the locally resident ones.
+    per_receiver_loss_rng:
+        Optional per-receiver reception-stream factory forwarded to
+        :class:`LinkLossProcess` (see its docstring); ``None`` keeps the
+        classic single shared stream.
     """
 
     def __init__(self, sim: Simulator, medium: WirelessMedium,
                  nodes: Sequence["Node"], rngs: RngRegistry,
-                 config: FaultConfig, start: float, horizon: float):
+                 config: FaultConfig, start: float, horizon: float,
+                 population: Optional[Sequence[int]] = None,
+                 per_receiver_loss_rng=None):
         self.sim = sim
         self.medium = medium
         self.config = config
@@ -162,6 +174,10 @@ class FaultInjector:
         self.horizon = horizon
         self._rngs = rngs
         self._nodes: Dict[int, "Node"] = {n.id: n for n in nodes}
+        self._population: List[int] = (
+            sorted(self._nodes) if population is None
+            else sorted(population))
+        self._per_receiver_loss_rng = per_receiver_loss_rng
         self._down_since: Dict[int, float] = {}
         self._armed = False
         self.timeline = FaultTimeline(window=(start, horizon),
@@ -186,7 +202,8 @@ class FaultInjector:
                 self.sim, self.config.loss,
                 reception_rng=self._rngs.stream("faults", "loss"),
                 burst_rng=self._rngs.stream("faults", "burst"),
-                root_seed=self._rngs.root_seed)
+                root_seed=self._rngs.root_seed,
+                per_receiver_rng=self._per_receiver_loss_rng)
             self.loss_process.arm(self.start, self.horizon)
             self.medium.extra_loss = self.loss_process
 
@@ -205,7 +222,7 @@ class FaultInjector:
         in plan order)."""
         if event.nodes:
             return sorted(event.nodes)
-        population = sorted(self._nodes)
+        population = self._population
         count = max(1, round(event.fraction * len(population)))
         rng = self._rngs.stream("faults", "targets")
         return sorted(rng.sample(population, count))
@@ -250,12 +267,18 @@ class FaultInjector:
     # -- churn ----------------------------------------------------------------
 
     def _arm_churn(self, churn: ChurnConfig) -> None:
-        population = sorted(self._nodes)
+        population = self._population
         if churn.fraction < 1.0:
             count = max(1, round(churn.fraction * len(population)))
             rng = self._rngs.stream("faults", "churn-members")
             population = sorted(rng.sample(population, count))
         for node_id in population:
+            if node_id not in self._nodes:
+                # Sharded worlds: the membership draw covers the global
+                # population, but a shard only drives its own residents.
+                # Skipping is draw-safe — session/rest times come from
+                # this node's private ("faults", "churn", id) stream.
+                continue
             stream = self._rngs.stream("faults", "churn", node_id)
             first = (self.start + churn.start_at
                      + churn.draw(stream, churn.mean_session_s))

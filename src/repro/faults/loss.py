@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.sim.kernel import Simulator
 from repro.sim.rng import derive_seed
@@ -66,14 +66,24 @@ class LinkLossProcess:
     ``("faults", "loss")`` stream; burst arrivals from
     ``("faults", "burst")``; per-link probabilities from per-link derived
     seeds — three independent streams, so none perturbs the others.
+
+    ``per_receiver_rng`` (optional) replaces the single shared reception
+    stream with one stream *per receiver*: each draw then depends only on
+    that receiver's own reception history, never on interleaving with
+    other receivers' draws.  The sharded-execution engine needs this —
+    reception order across shards is a merge artefact, so a shared
+    stream would make verdicts depend on the shard count.
     """
 
     def __init__(self, sim: Simulator, config: LinkLossConfig,
-                 reception_rng, burst_rng, root_seed: int):
+                 reception_rng, burst_rng, root_seed: int,
+                 per_receiver_rng: Optional[
+                     Callable[[int], random.Random]] = None):
         self.sim = sim
         self.config = config
         self._rng = reception_rng
         self._burst_rng = burst_rng
+        self._per_receiver = per_receiver_rng
         self._root_seed = root_seed
         self._link_p: Dict[Tuple[int, int], float] = {}
         self._burst_until = -math.inf
@@ -120,10 +130,12 @@ class LinkLossProcess:
 
     def __call__(self, sender_id: int, receiver_id: int) -> bool:
         """Decide one reception: True drops the frame."""
+        rng = (self._rng if self._per_receiver is None
+               else self._per_receiver(receiver_id))
         p = self.link_probability(sender_id, receiver_id)
-        if p > 0.0 and self._rng.random() < p:
+        if p > 0.0 and rng.random() < p:
             return True
         if self.in_burst and \
-                self._rng.random() < self.config.burst_loss_probability:
+                rng.random() < self.config.burst_loss_probability:
             return True
         return False

@@ -26,7 +26,7 @@ import pathlib
 import sys
 from typing import List, Optional
 
-from repro.harness import parallel
+from repro.harness import experiments, parallel
 from repro.harness.cache import ResultCache, default_cache_dir
 from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.harness.presets import get_scale
@@ -44,7 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment id (fig11..fig20, abl-gc, abl-backoff, "
              "abl-adaptive-hb, abl-ids, abl-dutycycle, abl-outage, "
              "energy-lifetime, churn-resilience, protocol-matrix, "
-             "loopback-bridge), 'all', or 'list'")
+             "loopback-bridge, city-scale), 'all', or 'list'")
     parser.add_argument(
         "--scale", default=None, choices=["smoke", "quick", "paper"],
         help="experiment scale (default: REPRO_SCALE env or quick; "
@@ -53,6 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="re-base the deterministic seed set on this first seed "
              "(default: the scale's seed_base, 0)")
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="run every scenario on the sharded engine with this many "
+             "spatial shards (default 0 = classic single-world engine; "
+             "sharded results are bit-identical for every K >= 1)")
     parser.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes for multi-seed sweeps (default: REPRO_JOBS "
@@ -113,7 +118,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip()
             print(f"  {name:16s} {doc.splitlines()[0]}")
         return 0
+    if args.shards < 0:
+        print(f"--shards must be >= 0, got {args.shards}", file=sys.stderr)
+        return 2
     configure_engine(args.jobs, args.no_cache, args.cache_dir)
+    experiments.DEFAULT_SHARDS = args.shards
     try:
         if args.experiment == "all":
             out_dir = pathlib.Path(args.out_dir or "results")
@@ -130,10 +139,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_one(args.experiment, args.scale, args.csv, seed=args.seed)
         return 0
     finally:
-        # Reap the pool and restore the library default (serial,
-        # uncached) so embedding callers — e.g. the test suite — do not
-        # inherit this invocation's engine configuration.
+        # Reap the pool and restore the library defaults (serial,
+        # uncached, unsharded) so embedding callers — e.g. the test
+        # suite — do not inherit this invocation's engine configuration.
         parallel.configure(jobs=1, cache=None)
+        experiments.DEFAULT_SHARDS = 0
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ qualitative shape (who wins, where the knees are) remains visible.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -23,10 +24,24 @@ from repro.harness.presets import Scale, get_scale
 # benchmark suite installed via repro.harness.parallel.configure().
 from repro.harness.parallel import run_seeds
 from repro.harness.runner import aggregate
-from repro.harness.scenario import (CitySectionSpec, Publication,
-                                    RandomWaypointSpec, ScenarioConfig,
-                                    StationarySpec)
+from repro.harness.scenario import (CityGridSpec, CitySectionSpec,
+                                    Publication, RandomWaypointSpec,
+                                    ScenarioConfig, StationarySpec)
 from repro.net import MediumConfig, RadioConfig
+
+#: Shard count applied to every scenario the experiment builders emit.
+#: 0 keeps the classic single-world engine; the CLI's ``--shards K``
+#: flag rebinds this for the duration of one invocation so any figure
+#: can run on the sharded engine (bit-identical across shard counts by
+#: construction — see ``repro.sim.shard``).
+DEFAULT_SHARDS = 0
+
+
+def _apply_shards(config: ScenarioConfig) -> ScenarioConfig:
+    """Stamp the module-wide shard count onto a built scenario."""
+    if not DEFAULT_SHARDS:
+        return config
+    return config.with_changes(shards=DEFAULT_SHARDS)
 
 
 @dataclass
@@ -72,7 +87,7 @@ def rwp_scenario(scale: Scale, speed_min: float, speed_max: float,
         Publication(at=2.0 + 2.0 * i, validity=validity, publisher=i)
         for i in range(n_events))
     last_pub = max(p.at for p in pubs)
-    return ScenarioConfig(
+    return _apply_shards(ScenarioConfig(
         n_processes=scale.rwp_processes,
         mobility=mobility,
         duration=duration if duration is not None
@@ -82,14 +97,14 @@ def rwp_scenario(scale: Scale, speed_min: float, speed_max: float,
         frugal=frugal or FrugalConfig.paper_random_waypoint(),
         radio=RadioConfig.paper_random_waypoint(),
         subscriber_fraction=interest,
-        publications=pubs)
+        publications=pubs))
 
 
 def city_scenario(scale: Scale, validity: float, interest: float,
                   hb_upper: float = 1.0, publisher: int = 0,
                   protocol: str = "frugal") -> ScenarioConfig:
     """A city-section trial on the synthetic campus map."""
-    return ScenarioConfig(
+    return _apply_shards(ScenarioConfig(
         n_processes=scale.city_processes,
         mobility=CitySectionSpec(),
         duration=5.0 + validity + 5.0,
@@ -99,7 +114,7 @@ def city_scenario(scale: Scale, validity: float, interest: float,
         radio=RadioConfig.paper_city_section(),
         subscriber_fraction=interest,
         publications=(Publication(at=5.0, validity=validity,
-                                  publisher=publisher),))
+                                  publisher=publisher),)))
 
 
 def _city_rotated_reliabilities(scale: Scale, validity: float,
@@ -760,6 +775,85 @@ def ablation_ids(scale: Optional[Scale] = None) -> ExperimentResult:
     return result
 
 
+# --------------------------------------------------------------------------
+# City-scale: large grid maps at the paper's city density
+# --------------------------------------------------------------------------
+
+#: Paper city density — 15 processes over the 1200x900 m campus.
+CITY_SCALE_DENSITY_KM2 = 15 / (1.2 * 0.9)
+#: Street-grid block pitch, metres (campus map: ~190 m blocks).
+CITY_SCALE_BLOCK_M = 200.0
+#: Populations swept per scale.  The full list is the tentpole target
+#: (one large world, sharded); smoke/quick shrink the population but
+#: keep the density and the map idiom.
+CITY_SCALE_POPULATIONS = {
+    "smoke": [40, 80],
+    "quick": [100, 200],
+    "paper": [2000, 5000, 10000],
+}
+
+
+def city_scale_scenario(scale: Scale, n: int, validity: float = 60.0,
+                        interest: float = 0.2,
+                        protocol: str = "frugal") -> ScenarioConfig:
+    """One large city-section trial: ``n`` processes on a street grid
+    sized to hold the paper's city density at a 4:3 aspect ratio."""
+    area_km2 = n / CITY_SCALE_DENSITY_KM2
+    width_m = math.sqrt(area_km2 * 4.0 / 3.0) * 1000.0
+    height_m = area_km2 * 1e6 / width_m
+    mobility = CityGridSpec(
+        columns=max(3, round(width_m / CITY_SCALE_BLOCK_M)),
+        rows=max(3, round(height_m / CITY_SCALE_BLOCK_M)),
+        width=width_m, height=height_m)
+    return _apply_shards(ScenarioConfig(
+        n_processes=n,
+        mobility=mobility,
+        duration=5.0 + validity + 5.0,
+        warmup=scale.city_warmup,
+        protocol=protocol,
+        frugal=FrugalConfig.paper_city_section(),
+        radio=RadioConfig.paper_city_section(),
+        subscriber_fraction=interest,
+        publications=(Publication(at=5.0, validity=validity),)))
+
+
+def city_scale(scale: Optional[Scale] = None) -> ExperimentResult:
+    """city-scale: one metropolitan world per population step.
+
+    Unlike the per-figure city runs (15 processes, one campus), each row
+    here is a *single* large world at the paper's density — the family
+    the sharded engine exists for.  Rows record delivery and cost
+    metrics plus mean wall-clock per run, so the same table doubles as
+    the scaling reference for ``--shards`` (results are bit-identical
+    for any shard count; only the wall-clock column moves).
+    """
+    scale = scale or get_scale()
+    populations = CITY_SCALE_POPULATIONS.get(
+        scale.name, CITY_SCALE_POPULATIONS["quick"])
+    result = ExperimentResult(
+        experiment_id="city-scale",
+        title="City-section scaling: street grids at paper density, "
+              "one world per population",
+        parameters={"scale": scale.name, "populations": populations,
+                    "density_km2": round(CITY_SCALE_DENSITY_KM2, 2),
+                    "shards": DEFAULT_SHARDS})
+    for n in populations:
+        cfg = city_scale_scenario(scale, n)
+        multi = run_seeds(cfg, scale.seed_list())
+        summary = multi.summary()
+        result.rows.append({
+            "n": n,
+            "width_m": round(cfg.mobility.width, 1),
+            "height_m": round(cfg.mobility.height, 1),
+            "reliability": summary["reliability"].mean,
+            "reliability_std": summary["reliability"].std,
+            "bandwidth_bytes": summary["bandwidth_bytes"].mean,
+            "events_sent": summary["events_sent"].mean,
+            "duplicates": summary["duplicates"].mean,
+            "wallclock_s": multi.metric(lambda r: r.wallclock_s).mean})
+    return result
+
+
 def loopback_bridge(scale: Optional[Scale] = None) -> ExperimentResult:
     """loopback-bridge: sim-predicted vs UDP-measured, side by side."""
     # Imported lazily: the rt package imports this module for
@@ -781,4 +875,5 @@ ALL_EXPERIMENTS: Dict[str, Callable[[Optional[Scale]], ExperimentResult]] = {
     "abl-outage": ablation_outage,
     "protocol-matrix": protocol_matrix,
     "loopback-bridge": loopback_bridge,
+    "city-scale": city_scale,
 }

@@ -42,7 +42,7 @@ from repro.metrics import (MetricsCollector, ReliabilityReport,
                            churn_aware_reliability, event_reliability,
                            mean_reliability, recovery_latencies)
 from repro.mobility import (CitySection, MobilityModel, RandomWaypoint,
-                            Stationary, StreetMap, campus_map)
+                            Stationary, StreetMap, campus_map, grid_map)
 from repro.net import (MediumConfig, Node, RadioConfig, SizeModel,
                        WirelessMedium)
 from repro.sim import RngRegistry, Simulator, TimerWheel
@@ -114,6 +114,51 @@ def _campus_map_cached(seed: int) -> StreetMap:
 
 
 _MAP_CACHE: Dict[int, StreetMap] = {}
+
+
+@dataclass(frozen=True)
+class CityGridSpec(MobilitySpec):
+    """Street-constrained mobility over a parameterised Manhattan grid.
+
+    The campus map behind :class:`CitySectionSpec` is fixed at
+    1200 x 900 m — far too small for the city-scale populations the
+    sharded engine targets.  This spec builds an arbitrary
+    ``columns x rows`` street grid (``width x height`` metres) instead,
+    so experiments can hold the paper's process density while the map
+    grows with N.  Maps are cached per parameter tuple, like the campus
+    map.
+    """
+
+    columns: int = 12
+    rows: int = 9
+    width: float = 2400.0
+    height: float = 1800.0
+    map_seed: int = 0
+    stop_probability: float = 0.3
+    stop_min: float = 2.0
+    stop_max: float = 15.0
+
+    def build(self, index: int) -> MobilityModel:
+        """Street-constrained city model for one process."""
+        return CitySection(self.street_map(),
+                           stop_probability=self.stop_probability,
+                           stop_min=self.stop_min, stop_max=self.stop_max)
+
+    def street_map(self) -> StreetMap:
+        """The (cached) grid street map for this spec's parameters."""
+        key = (self.columns, self.rows, self.width, self.height,
+               self.map_seed)
+        cached = _GRID_MAP_CACHE.get(key)
+        if cached is None:
+            cached = grid_map(columns=self.columns, rows=self.rows,
+                              width=self.width, height=self.height,
+                              seed=self.map_seed,
+                              name=f"grid-{self.columns}x{self.rows}")
+            _GRID_MAP_CACHE[key] = cached
+        return cached
+
+
+_GRID_MAP_CACHE: Dict[Tuple[int, int, float, float, int], StreetMap] = {}
 
 
 @dataclass(frozen=True)
@@ -209,10 +254,17 @@ class ScenarioConfig:
     #: timer wheel (identical firing times and tie-order, fewer kernel
     #: events); ``False`` arms one kernel timer per periodic task.
     coalesced_timers: bool = True
+    #: Split the world into this many spatial shards run by the
+    #: epoch-barrier engine of :mod:`repro.sim.shard` (summaries are
+    #: invariant in the shard count).  ``0`` — the default — keeps the
+    #: classic single-world engine.
+    shards: int = 0
 
     def __post_init__(self) -> None:
         if self.n_processes < 1:
             raise ValueError("n_processes must be >= 1")
+        if self.shards < 0:
+            raise ValueError(f"shards must be >= 0: {self.shards}")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.warmup < 0:
@@ -571,6 +623,11 @@ def build_world(config: ScenarioConfig) -> World:
 
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     """Run one trial: warm-up, publications, measurement window."""
+    if config.shards:
+        # Imported lazily: the shard engine pulls this module in for
+        # world construction, and the classic path must not pay for it.
+        from repro.sim.shard.engine import run_sharded_scenario
+        return run_sharded_scenario(config)
     started = _wallclock.perf_counter()
     world = build_world(config)
     sim, medium, collector, nodes, subscriber_ids = world

@@ -335,6 +335,13 @@ class WirelessMedium:
         # the fault injector's link-loss model; None (the default) adds
         # zero work and zero RNG draws to the delivery path.
         self.extra_loss: Optional[Callable[[int, int], bool]] = None
+        # Shard-ingress hook: when set, a freshly assembled frame is
+        # handed to the sharded-execution layer instead of being
+        # resolved locally — the shard engine commits it at the next
+        # epoch barrier and mirrors it into every shard whose nodes
+        # could hear it (see repro.sim.shard).  Like ``extra_loss``
+        # above, ``None`` (the default) adds zero work to the path.
+        self.shard_ingress: Optional[Callable[[Transmission], None]] = None
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_collided = 0
@@ -514,6 +521,17 @@ class WirelessMedium:
         tx = Transmission(sender=sender.id, sender_pos=pos,
                           range_m=self.radio.communication_range_m(),
                           start=now, end=now + duration, message=message)
+        if self.shard_ingress is not None:
+            # Sharded execution: count + hook accounting happen here (the
+            # sender's shard owns its TX metrics), then the frame leaves
+            # for the epoch-barrier exchange instead of local resolution.
+            self.frames_sent += 1
+            if self.on_transmit is not None:
+                self.on_transmit(sender.id, message, size)
+            if self.on_tx_window is not None:
+                self.on_tx_window(sender.id, duration)
+            self.shard_ingress(tx)
+            return
         tx_seq = -1
         if self._txlog is not None:
             tx_seq = self._txlog.add(sender.id, pos.x, pos.y, tx.range_m,

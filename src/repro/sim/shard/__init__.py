@@ -1,0 +1,26 @@
+"""Sharded-world execution: spatial partitioning + epoch-barrier engine.
+
+Split one logical world into K vertical stripes
+(:class:`~repro.sim.shard.partition.ShardPlan`), run each stripe's
+resident nodes in its own sub-world, and exchange radio frames at fixed
+epoch barriers in a canonical merge order
+(:mod:`~repro.sim.shard.engine`) — bit-identical results for any shard
+count.  Enabled per scenario with ``ScenarioConfig(shards=K)``; the
+default ``shards=0`` keeps the classic single-world engine.
+"""
+
+from repro.sim.shard.engine import (DEFAULT_EPOCH_S, ShardFrame,
+                                    ShardMedium, compute_barriers,
+                                    compute_ownership,
+                                    run_sharded_scenario)
+from repro.sim.shard.partition import ShardPlan
+
+__all__ = [
+    "DEFAULT_EPOCH_S",
+    "ShardFrame",
+    "ShardMedium",
+    "ShardPlan",
+    "compute_barriers",
+    "compute_ownership",
+    "run_sharded_scenario",
+]

@@ -1,0 +1,775 @@
+"""Sharded-world execution: one logical world, K cooperating shards.
+
+``run_sharded_scenario`` runs the scenario described by a
+:class:`~repro.harness.scenario.ScenarioConfig` with ``shards=K`` as K
+spatially partitioned sub-worlds that exchange radio traffic at fixed
+**epoch barriers**, and merges the per-shard measurements into one
+:class:`~repro.harness.scenario.ScenarioResult`.  The defining property
+— asserted by ``tests/test_shard.py`` — is *shard-count invariance*:
+summaries for ``shards=1``, ``2`` and ``4`` are bit-identical.
+
+How it works
+------------
+* **Ownership** — every node is assigned to the shard whose stripe
+  contains its *initial* position (:func:`compute_ownership` replays the
+  mobility prefix of each node's ``("node", i)`` stream in a throwaway
+  world, which is exact: ``Node.start`` starts mobility before the
+  protocol ever draws).  Each shard builds only its resident nodes; all
+  shards derive every shared draw (subscriber selection, fault targets,
+  churn membership) from identical ``RngRegistry(seed)`` streams.
+* **Slotted medium** — inside a shard, frames transmitted during an
+  epoch are *invisible* until the next barrier (:class:`ShardMedium`
+  diverts them through the medium's ``shard_ingress`` hook into an
+  outbox).  At each barrier the driver gathers every shard's outbox,
+  sorts the union into the canonical ``(start, sender id, per-sender
+  seq)`` order, and hands the identical committed batch back to every
+  shard — the frame exchange that "mirrors a border node's
+  transmissions into the neighbouring shard's medium", degenerating to
+  a plain commit log when K = 1.
+* **Exactness** — nodes interact *only* through the medium, and the
+  committed log every shard sees is a pure function of per-node streams
+  and earlier barriers, so by induction over barriers no observable —
+  deliveries, collisions, CSMA back-offs, energy charges, fault draws —
+  depends on which nodes happen to be co-resident.  Carrier sense and
+  uniform frame loss draw from per-node streams (``("shard-medium",
+  id)`` / ``("shard-loss", id)``) instead of the classic shared medium
+  stream for the same reason.
+* **Collisions** — a frame is delivered at the first barrier at or
+  after its end time; every frame that could strictly overlap it has
+  been committed by then (any ``g`` with ``g.start < f.end <= t_b`` is
+  in a batch no later than ``t_b``), so per-receiver verdicts read the
+  committed log only.
+
+``shards=0`` (the default) never reaches this module: the classic
+single-world engine runs untouched.  ``shards>=1`` all use this slotted
+engine, so the invariance family ``{1, 2, 4}`` compares like with like.
+
+Backends: ``spawn`` runs each shard in its own process connected by a
+pipe; ``inproc`` steps the K worlds round-robin in this process (the
+bit-identical fallback used for K=1, inside daemonic pool workers, and
+on single-CPU hosts).  ``REPRO_SHARD_BACKEND`` forces either.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import multiprocessing
+import os
+import time as _wallclock
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.base import ProtocolCounters
+from repro.core.events import Event, EventFactory
+from repro.energy import EnergyAccountant
+from repro.faults import FaultInjector, FaultTimeline
+from repro.metrics import MetricsCollector
+from repro.net import Node, WirelessMedium
+from repro.net.medium import Transmission
+from repro.sim import RngRegistry, Simulator, TimerWheel
+from repro.sim.shard.partition import ShardPlan
+from repro.sim.space import Vec2
+
+#: Barrier spacing, seconds.  0.25 is exactly representable in binary
+#: floating point, so every shard computes bit-equal barrier instants.
+DEFAULT_EPOCH_S = 0.25
+
+#: Metres added to the radio range in the bounding-box prefilter —
+#: keeps the box test a strict superset of the exact audibility
+#: predicate regardless of rounding, at zero cost.
+_BBOX_SLACK_M = 1.0
+
+
+@dataclass
+class ShardFrame:
+    """One committed (or about-to-commit) frame on the shard bus.
+
+    ``seq`` is the sender's per-run transmission counter; ``(sender,
+    seq)`` identifies a frame globally, and ``(start, sender, seq)`` is
+    the canonical merge order every shard sorts the committed batch by.
+    """
+
+    tx: Transmission
+    seq: int
+
+
+def _frame_key(frame: ShardFrame) -> Tuple[float, int, int]:
+    """The deterministic merge-order key: (time, node id, seq)."""
+    return (frame.tx.start, frame.tx.sender, frame.seq)
+
+
+def compute_barriers(warmup: float, duration: float,
+                     epoch: float = DEFAULT_EPOCH_S) -> List[float]:
+    """The ascending epoch-barrier instants for one run.
+
+    Multiples of ``epoch`` up to the run end, plus the warm-up boundary
+    (metrics thaw there) and the exact end instant, deduplicated.
+    """
+    end = warmup + duration
+    ticks = set()
+    k = 1
+    while k * epoch < end:
+        ticks.add(k * epoch)
+        k += 1
+    if warmup > 0:
+        ticks.add(warmup)
+    ticks.add(end)
+    return sorted(ticks)
+
+
+def compute_ownership(config) -> Tuple[List[int], ShardPlan]:
+    """Assign every node to a shard by its exact initial position.
+
+    Replays, in a throwaway world, precisely the prefix of each node's
+    ``("node", i)`` stream that the real ``Node.start`` consumes before
+    any protocol draw — ``MobilityModel.start`` — and reads the model's
+    position at time zero.  The stripe plan spans the initial
+    population's x-extent with the medium's grid-cell geometry
+    (``range + anchor slack``), so shard borders line up with
+    :class:`~repro.sim.space.SpatialGrid` cell columns.
+    """
+    sim = Simulator()
+    rngs = RngRegistry(config.seed)
+    positions: List[Vec2] = []
+    for i in range(config.n_processes):
+        model = config.mobility.build(i)
+        model.start(sim, rngs.stream("node", i))
+        positions.append(model.position())
+    range_m = config.radio.communication_range_m()
+    slack = config.medium.anchor_slack_m
+    cell = range_m + (slack if slack is not None else range_m / 8.0)
+    min_x = min(p.x for p in positions)
+    max_x = max(p.x for p in positions)
+    if max_x <= min_x:
+        max_x = min_x + cell
+    plan = ShardPlan(min_x=min_x, max_x=max_x, shards=config.shards,
+                     cell_size=cell)
+    owners = [plan.shard_of(p) for p in positions]
+    return owners, plan
+
+
+class ShardMedium(WirelessMedium):
+    """The slotted per-shard medium.
+
+    Differences from the classic :class:`WirelessMedium`:
+
+    * outgoing frames divert through ``shard_ingress`` into an epoch
+      outbox instead of resolving receivers immediately;
+    * carrier sense covers *committed* frames still on the air plus the
+      sender's own pending frames (a node always hears itself), never a
+      co-resident neighbour's uncommitted traffic — co-residency must
+      be unobservable;
+    * CSMA back-off and uniform frame-loss draws come from per-node
+      streams so their sequences are independent of shard composition;
+    * deliveries and collision verdicts happen at barriers, against the
+      canonical committed log shared by every shard.
+    """
+
+    def __init__(self, sim, radio, config, sizes,
+                 node_rng: Callable[[int], object],
+                 loss_rng: Callable[[int], object]):
+        super().__init__(sim, radio, config=config, sizes=sizes, rng=None)
+        self._node_rng = node_rng
+        self._loss_rng = loss_rng
+        self.shard_ingress = self._shard_enqueue
+        self._outbox: List[ShardFrame] = []
+        self._tx_seq: Dict[int, int] = {}
+        self._last_tx_end: Dict[int, float] = {}
+        self._live: List[ShardFrame] = []      # committed, still on air
+        self._log: List[ShardFrame] = []       # committed, start-sorted
+        self._log_starts: List[float] = []
+        self._pending: List[ShardFrame] = []   # committed, end > barrier
+        self._max_airtime = 0.0
+        self._bbox: Optional[Tuple[float, float, float, float]] = None
+        self._bbox_valid = False
+
+    # -- sending (epoch side) ----------------------------------------------
+
+    def _shard_enqueue(self, tx: Transmission) -> None:
+        seq = self._tx_seq.get(tx.sender, 0)
+        self._tx_seq[tx.sender] = seq + 1
+        self._outbox.append(ShardFrame(tx=tx, seq=seq))
+        prev = self._last_tx_end.get(tx.sender, -math.inf)
+        if tx.end > prev:
+            self._last_tx_end[tx.sender] = tx.end
+
+    def _attempt_send(self, sender_id: int, message, attempt: int) -> None:
+        sender = self._nodes.get(sender_id)
+        if sender is None or not sender.alive:
+            return  # sender crashed while the frame was queued
+        if sender.asleep or sender.silenced:
+            sender.send(message)   # radio went down mid-backoff: requeue
+            return
+        pos = sender.position()
+        if (self.config.csma_enabled
+                and attempt < self.config.max_csma_retries
+                and self._shard_busy(sender_id, pos)):
+            delay = self._shard_csma_delay(sender_id)
+            self.sim.schedule(delay, self._attempt_send, sender_id,
+                              message, attempt + 1)
+            return
+        self._transmit(sender, pos, message)
+
+    def _shard_busy(self, sender_id: int, pos: Vec2) -> bool:
+        now = self.sim.now
+        if self._last_tx_end.get(sender_id, -math.inf) > now:
+            return True   # own frame still on the air (half duplex)
+        for frame in self._live:
+            tx = frame.tx
+            if tx.end > now and tx.audible_at(pos):
+                return True
+        return False
+
+    def _shard_csma_delay(self, sender_id: int) -> float:
+        lo = self.config.csma_backoff_min_s
+        hi = self.config.csma_backoff_max_s
+        if hi <= lo:
+            return lo
+        return self._node_rng(sender_id).uniform(lo, hi)
+
+    def collect_outbox(self) -> List[ShardFrame]:
+        """Drain this epoch's transmissions (barrier step one)."""
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    # -- receiving (barrier side) ------------------------------------------
+
+    def ingest_committed(self, frames: Sequence[ShardFrame],
+                         barrier: float) -> None:
+        """Fold the canonical committed batch into the local log.
+
+        Updates the live set (carrier sense for the coming epoch), the
+        start-sorted collision log (pruned past the history horizon)
+        and the pending-delivery queue; :meth:`deliver_due` walks what
+        has landed by this barrier.
+        """
+        self._bbox_valid = False
+        self._live = [f for f in self._live if f.tx.end > barrier]
+        for frame in frames:
+            airtime = frame.tx.end - frame.tx.start
+            if airtime > self._max_airtime:
+                self._max_airtime = airtime
+            if frame.tx.end > barrier:
+                self._live.append(frame)
+        cutoff = barrier - self.config.history_horizon_s
+        if self._log and self._log[0].tx.end <= cutoff:
+            self._log = [f for f in self._log if f.tx.end > cutoff]
+        self._log.extend(frames)
+        # Nearly sorted (batches arrive in barrier order; only reaction
+        # frames at the previous barrier instant straddle), so Timsort
+        # is cheap — and the canonical key keeps every shard's log in
+        # the identical order.
+        self._log.sort(key=_frame_key)
+        self._log_starts = [f.tx.start for f in self._log]
+        self._pending.extend(frames)
+
+    def deliver_due(self, barrier: float) -> None:
+        """Deliver every committed frame whose airtime ended by now.
+
+        Frames resolve in canonical order against the shard's resident
+        nodes at their exact current positions; verdicts, loss draws
+        and protocol reactions all happen at the barrier instant.
+        """
+        due = [f for f in self._pending if f.tx.end <= barrier]
+        if not due:
+            return
+        self._pending = [f for f in self._pending if f.tx.end > barrier]
+        due.sort(key=_frame_key)
+        for frame in due:
+            self._resolve_frame(frame)
+
+    def _resolve_frame(self, frame: ShardFrame) -> None:
+        tx = frame.tx
+        if not self._bbox_may_hear(tx):
+            return   # no resident node within range: provably no-op
+        duration = tx.end - tx.start
+        for node_id, rx_pos in self._audible_residents(tx):
+            node = self._nodes.get(node_id)
+            if node is None or not node.listening:
+                continue
+            if self.on_rx_window is not None:
+                self.on_rx_window(node_id, duration)
+            node = self._nodes.get(node_id)
+            if node is None or not node.listening:
+                continue   # the RX charge drained its battery
+            corrupted = (self.config.model_collisions
+                         and self._corrupt_verdict(frame, node_id, rx_pos))
+            self._finish_shard_delivery(tx, node_id, node, corrupted)
+
+    def _audible_residents(self, tx: Transmission
+                           ) -> List[Tuple[int, Vec2]]:
+        """Resident nodes (exact positions, ascending id) in range.
+
+        Mirrors the classic receiver resolution: grid candidates are
+        re-filtered against exact interpolated positions (via the
+        numpy leg table when active), so spatial-index and flat modes
+        return the identical set.
+        """
+        pos = tx.sender_pos
+        now = self.sim.now
+        if self._grid is not None:
+            ids = self._grid.query_radius(pos, self._query_radius_m,
+                                          exclude=tx.sender)
+            if self._legs is not None:
+                return self._legs.audible(
+                    [i for i in ids if i in self._nodes],
+                    now, pos.x, pos.y, tx.range_m)
+            hits: List[Tuple[int, Vec2]] = []
+            for node_id in ids:
+                node = self._nodes.get(node_id)
+                if node is None:
+                    continue
+                rx_pos = node.position()
+                if tx.audible_at(rx_pos):
+                    hits.append((node_id, rx_pos))
+            return hits
+        hits = []
+        for node in list(self._sorted_nodes):
+            if node.id == tx.sender:
+                continue
+            rx_pos = node.position()
+            if tx.audible_at(rx_pos):
+                hits.append((node.id, rx_pos))
+        return hits
+
+    def _corrupt_verdict(self, frame: ShardFrame, receiver_id: int,
+                         rx_pos: Vec2) -> bool:
+        """Collision check against the committed log (strict overlap;
+        half-duplex when the receiver sent the other frame)."""
+        tx = frame.tx
+        lo = bisect.bisect_left(self._log_starts,
+                                tx.start - self._max_airtime)
+        hi = bisect.bisect_left(self._log_starts, tx.end)
+        for other in self._log[lo:hi]:
+            otx = other.tx
+            if other.seq == frame.seq and otx.sender == tx.sender:
+                continue
+            if not (otx.start < tx.end and tx.start < otx.end):
+                continue
+            if otx.sender == receiver_id:
+                return True
+            if otx.audible_at(rx_pos):
+                return True
+        return False
+
+    def _finish_shard_delivery(self, tx: Transmission, receiver_id: int,
+                               node, corrupted: bool) -> None:
+        """The classic delivery gauntlet with a per-receiver loss
+        stream (shared-stream draw order would be a merge artefact)."""
+        if corrupted:
+            self.frames_collided += 1
+            if self.on_drop is not None:
+                self.on_drop(receiver_id, tx.message, "collision")
+            return
+        p = self.config.frame_loss_probability
+        if p > 0.0 and self._loss_rng(receiver_id).random() < p:
+            self.frames_lost_random += 1
+            if self.on_drop is not None:
+                self.on_drop(receiver_id, tx.message, "loss")
+            return
+        if self.extra_loss is not None and \
+                self.extra_loss(tx.sender, receiver_id):
+            self.frames_lost_fault += 1
+            if self.on_drop is not None:
+                self.on_drop(receiver_id, tx.message, "fault-loss")
+            return
+        self.frames_delivered += 1
+        if self.on_receive is not None:
+            self.on_receive(receiver_id, tx.message)
+        node.receive(tx.message)
+
+    # -- bounding-box prefilter --------------------------------------------
+
+    def register(self, node) -> None:
+        """Register a node and invalidate the population bounding box
+        (a repowered node can land outside the cached extent)."""
+        super().register(node)
+        self._bbox_valid = False
+
+    def _bbox_may_hear(self, tx: Transmission) -> bool:
+        """Could *any* resident hear this frame?  Conservative test of
+        the radio disc against the resident population's bounding box
+        (computed lazily from exact current positions, so skipping a
+        frame that fails it is observably a no-op for every K)."""
+        if not self._bbox_valid:
+            self._bbox = self._compute_bbox()
+            self._bbox_valid = True
+        box = self._bbox
+        if box is None:
+            return False
+        pos = tx.sender_pos
+        dx = max(box[0] - pos.x, 0.0, pos.x - box[2])
+        dy = max(box[1] - pos.y, 0.0, pos.y - box[3])
+        reach = tx.range_m + _BBOX_SLACK_M
+        return dx * dx + dy * dy <= reach * reach
+
+    def _compute_bbox(self) -> Optional[Tuple[float, float, float, float]]:
+        min_x = min_y = math.inf
+        max_x = max_y = -math.inf
+        for node in self._sorted_nodes:
+            try:
+                pos = node.position()
+            except RuntimeError:
+                # Unstarted mobility: position unknown, so the prune
+                # must stand down entirely to stay conservative.
+                return (-math.inf, -math.inf, math.inf, math.inf)
+            min_x = min(min_x, pos.x)
+            min_y = min(min_y, pos.y)
+            max_x = max(max_x, pos.x)
+            max_y = max(max_y, pos.y)
+        if min_x is math.inf:
+            return None   # no residents: every frame is skippable
+        return (min_x, min_y, max_x, max_y)
+
+
+class _ShardWorld:
+    """One shard's complete sub-world and its barrier-stepping driver."""
+
+    def __init__(self, config, shard_index: int, owners: Sequence[int]):
+        # Imported here (not at module top) to keep this module
+        # importable without dragging the harness in at package-import
+        # time; run_scenario imports us lazily for the same reason.
+        from repro.harness.scenario import make_protocol, select_subscribers
+
+        self.config = config
+        self.shard_index = shard_index
+        self.sim = Simulator()
+        self.rngs = RngRegistry(config.seed)
+        wheel = TimerWheel(self.sim) if config.coalesced_timers else None
+        self.medium = ShardMedium(
+            self.sim, config.radio, config=config.medium,
+            sizes=config.sizes,
+            node_rng=lambda i: self.rngs.stream("shard-medium", i),
+            loss_rng=lambda i: self.rngs.stream("shard-loss", i))
+        self.collector = MetricsCollector(self.medium)
+        self.energy = (EnergyAccountant(self.medium, config.energy)
+                       if config.energy is not None else None)
+        self.subscriber_ids = select_subscribers(config, self.rngs)
+        subscriber_set = set(self.subscriber_ids)
+        self.nodes: Dict[int, Node] = {}
+        for i in range(config.n_processes):
+            if owners[i] != shard_index:
+                continue
+            protocol = make_protocol(config)
+            node = Node(i, self.sim, self.medium,
+                        mobility=config.mobility.build(i),
+                        protocol=protocol,
+                        rng=self.rngs.stream("node", i),
+                        speed_sensor=config.speed_sensor,
+                        wheel=wheel)
+            topic = (config.event_topic if i in subscriber_set
+                     else config.other_topic)
+            protocol.subscribe(topic)
+            self.collector.track_node(node)
+            if self.energy is not None:
+                self.energy.track_node(node)
+            self.nodes[i] = node
+        self.faults = None
+        if config.faults is not None:
+            self.faults = FaultInjector(
+                sim=self.sim, medium=self.medium,
+                nodes=list(self.nodes.values()), rngs=self.rngs,
+                config=config.faults, start=config.warmup,
+                horizon=config.warmup + config.duration,
+                population=range(config.n_processes),
+                per_receiver_loss_rng=lambda i: self.rngs.stream(
+                    "shard-fault-loss", i))
+            self.faults.arm()
+        for node in self.nodes.values():
+            node.start()
+        self.published: List[Tuple[int, Event]] = []
+        self._factories: Dict[int, EventFactory] = {}
+        for index, pub in enumerate(config.publications):
+            idx = pub.publisher if pub.publisher is not None else 0
+            publisher_id = self.subscriber_ids[
+                idx % len(self.subscriber_ids)]
+            if publisher_id in self.nodes:
+                self.sim.call_at(config.warmup + pub.at,
+                                 self._do_publish, index, publisher_id,
+                                 pub)
+        self._warmup_pending = config.warmup > 0
+        if self._warmup_pending:
+            self.collector.freeze()
+        else:
+            self.collector.mark_protocol_baseline(self.nodes.values())
+            if self.energy is not None:
+                self.energy.start_measurement()
+
+    def _do_publish(self, index: int, publisher_id: int, pub) -> None:
+        factory = self._factories.setdefault(publisher_id,
+                                             EventFactory(publisher_id))
+        event = factory.create(pub.topic or self.config.event_topic,
+                               validity=pub.validity, now=self.sim.now,
+                               payload_bytes=pub.payload_bytes)
+        self.published.append((index, event))
+        self.collector.record_publication(event)
+        self.nodes[publisher_id].protocol.publish(event)
+
+    # -- barrier protocol --------------------------------------------------
+
+    def advance_to(self, barrier: float) -> List[ShardFrame]:
+        """Run the local kernel up to the barrier; drain the outbox."""
+        self.sim.run(until=barrier)
+        return self.medium.collect_outbox()
+
+    def ingest(self, barrier: float, merged: Sequence[ShardFrame]) -> None:
+        """Fold the canonical batch in, deliver what is due, and (at
+        the warm-up barrier) thaw metrics exactly as the classic run
+        does after ``sim.run(until=warmup)``."""
+        self.medium.ingest_committed(merged, barrier)
+        self.medium.deliver_due(barrier)
+        if self._warmup_pending and barrier == self.config.warmup:
+            self._warmup_pending = False
+            self.collector.resume()
+            self.collector.mark_protocol_baseline(self.nodes.values())
+            if self.energy is not None:
+                self.energy.start_measurement()
+
+    def finish(self) -> Dict[str, object]:
+        """Finalise collectors and emit this shard's picklable payload."""
+        if self.energy is not None:
+            self.energy.finalize()
+        if self.faults is not None:
+            self.faults.finalize()
+        self.collector.capture_protocol_totals(self.nodes.values())
+        return {
+            "collector": self.collector.__getstate__(),
+            "published": self.published,
+            "energy": (None if self.energy is None
+                       else self.energy.__getstate__()),
+            "timeline": None if self.faults is None
+                        else self.faults.timeline,
+            "events": self.sim.events_processed,
+        }
+
+
+# -- backends ---------------------------------------------------------------
+
+
+def _select_backend(shards: int) -> str:
+    """Pick spawn vs in-process (env override ``REPRO_SHARD_BACKEND``)."""
+    choice = os.environ.get("REPRO_SHARD_BACKEND", "auto")
+    if choice not in ("auto", "inproc", "spawn"):
+        raise ValueError(
+            f"REPRO_SHARD_BACKEND must be auto|inproc|spawn: {choice!r}")
+    if choice != "auto":
+        return choice
+    if shards < 2:
+        return "inproc"
+    if multiprocessing.current_process().daemon:
+        return "inproc"   # pool workers may not spawn children
+    if (os.cpu_count() or 1) < 2:
+        return "inproc"   # no parallel hardware: skip the IPC tax
+    return "spawn"
+
+
+def _run_inproc(config, owners: List[int],
+                barriers: List[float]) -> List[Dict[str, object]]:
+    """Round-robin the K shard worlds in this process.
+
+    Bit-identical to the spawn backend by construction: the barrier
+    protocol is schedule-independent, and each world owns a fresh
+    ``RngRegistry(seed)`` exactly as a worker process would.
+    """
+    worlds = [_ShardWorld(config, s, owners) for s in range(config.shards)]
+    for barrier in barriers:
+        batches = [world.advance_to(barrier) for world in worlds]
+        merged: List[ShardFrame] = []
+        for batch in batches:
+            merged.extend(batch)
+        merged.sort(key=_frame_key)
+        for world in worlds:
+            world.ingest(barrier, merged)
+    return [world.finish() for world in worlds]
+
+
+def _shard_worker_main(conn, config, shard_index: int,
+                       owners: List[int], barriers: List[float]) -> None:
+    """Spawn-backend worker: one shard world driven over a pipe."""
+    try:
+        world = _ShardWorld(config, shard_index, owners)
+        for barrier in barriers:
+            conn.send(("frames", world.advance_to(barrier)))
+            world.ingest(barrier, conn.recv())
+        conn.send(("done", world.finish()))
+    except Exception:   # noqa: BLE001 - forwarded verbatim to the parent
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):   # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+def _run_spawn(config, owners: List[int],
+               barriers: List[float]) -> List[Dict[str, object]]:
+    """Run each shard in its own spawned process, barrier-stepped."""
+    ctx = multiprocessing.get_context("spawn")
+    conns = []
+    procs = []
+    try:
+        for s in range(config.shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn, config, s, owners, barriers),
+                daemon=True)
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+        for barrier in barriers:
+            merged: List[ShardFrame] = []
+            for s, conn in enumerate(conns):
+                tag, data = conn.recv()
+                if tag == "error":
+                    raise RuntimeError(f"shard {s} failed:\n{data}")
+                merged.extend(data)
+            merged.sort(key=_frame_key)
+            for conn in conns:
+                conn.send(merged)
+        payloads: List[Dict[str, object]] = []
+        for s, conn in enumerate(conns):
+            tag, data = conn.recv()
+            if tag == "error":
+                raise RuntimeError(f"shard {s} failed:\n{data}")
+            payloads.append(data)
+        return payloads
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():   # pragma: no cover - crash cleanup
+                proc.terminate()
+                proc.join(timeout=5)
+
+
+# -- merging ----------------------------------------------------------------
+
+
+def _merge_collectors(states: List[dict]) -> MetricsCollector:
+    """Union the per-shard collector states (disjoint node rows).
+
+    Every union is rebuilt in a canonical key order (node id, event id)
+    before it becomes the merged state: downstream summary statistics
+    sum floats by dict iteration order, and only a canonical order makes
+    that order — hence the last-ulp rounding — shard-count-invariant.
+    Every K, including K=1, passes through this same normalisation.
+    """
+    stats: Dict[int, object] = {}
+    times: Dict[object, Dict[int, float]] = {}
+    published: Dict[object, Event] = {}
+    seen = set()
+    totals = []
+    for state in states:
+        stats.update(state["stats"])
+        for event_id, per_node in state["delivery_times"].items():
+            times.setdefault(event_id, {}).update(per_node)
+        published.update(state["published"])
+        seen |= state["_seen_receptions"]
+        if state["protocol_totals"] is not None:
+            totals.append(state["protocol_totals"])
+    event_key = lambda eid: (eid.publisher, eid.seq)  # noqa: E731
+    merged = MetricsCollector.__new__(MetricsCollector)
+    merged.__setstate__({
+        "medium": None,
+        "stats": {nid: stats[nid] for nid in sorted(stats)},
+        "delivery_times": {
+            eid: {nid: times[eid][nid] for nid in sorted(times[eid])}
+            for eid in sorted(times, key=event_key)},
+        "published": {eid: published[eid]
+                      for eid in sorted(published, key=event_key)},
+        "_seen_receptions": seen,
+        "_frozen": False,
+        "protocol_totals":
+            ProtocolCounters.total(totals) if totals else None,
+        "_protocol_baseline": None,
+    })
+    return merged
+
+
+def _merge_energy(states: List[dict]) -> EnergyAccountant:
+    """Union the per-shard frozen energy states; deaths re-sorted into
+    the canonical (time, node id) order."""
+    models: Dict[int, object] = {}
+    deaths: List[Tuple[float, int]] = []
+    for state in states:
+        models.update(state["models"])
+        deaths.extend(state["deaths"])
+    merged = EnergyAccountant.__new__(EnergyAccountant)
+    merged.__setstate__({
+        "config": states[0]["config"],
+        "deaths": sorted(deaths),
+        # Canonical node-id order: the aggregate sums joules by dict
+        # iteration order, which must not depend on the shard count.
+        "models": {nid: models[nid] for nid in sorted(models)},
+    })
+    return merged
+
+
+def _merge_timelines(timelines: List[FaultTimeline]) -> FaultTimeline:
+    """Union the per-shard fault timelines (disjoint node residency)."""
+    merged = FaultTimeline(window=timelines[0].window,
+                           n_nodes=sum(t.n_nodes for t in timelines))
+    outage_counts: Dict[float, int] = {}
+    intervals_by_node: Dict[int, List] = {}
+    for timeline in timelines:
+        for node_id, intervals in timeline.down_intervals.items():
+            intervals_by_node.setdefault(node_id, []).extend(intervals)
+        merged.recoveries.extend(timeline.recoveries)
+        merged.down_transitions += timeline.down_transitions
+        for at, count in timeline.outages:
+            outage_counts[at] = outage_counts.get(at, 0) + count
+    # Canonical node-id order (availability sums by iteration order).
+    for node_id in sorted(intervals_by_node):
+        merged.down_intervals[node_id] = intervals_by_node[node_id]
+    merged.recoveries.sort()
+    merged.outages.extend(sorted(outage_counts.items()))
+    return merged
+
+
+def run_sharded_scenario(config):
+    """Run one scenario as ``config.shards`` cooperating shard worlds.
+
+    The entry point ``run_scenario`` dispatches to for ``shards >= 1``;
+    returns a fully merged :class:`~repro.harness.scenario.ScenarioResult`
+    whose summary is invariant in the shard count.
+    """
+    from repro.harness.scenario import ScenarioResult, select_subscribers
+
+    started = _wallclock.perf_counter()
+    owners, _plan = compute_ownership(config)
+    barriers = compute_barriers(config.warmup, config.duration)
+    if _select_backend(config.shards) == "spawn":
+        payloads = _run_spawn(config, owners, barriers)
+    else:
+        payloads = _run_inproc(config, owners, barriers)
+
+    collector = _merge_collectors([p["collector"] for p in payloads])
+    published = [event for _, event in
+                 sorted((entry for p in payloads for entry in
+                         p["published"]), key=lambda entry: entry[0])]
+    energy = None
+    if config.energy is not None:
+        energy = _merge_energy([p["energy"] for p in payloads])
+    timeline = None
+    if config.faults is not None:
+        timeline = _merge_timelines([p["timeline"] for p in payloads])
+    subscriber_ids = select_subscribers(config, RngRegistry(config.seed))
+    subscriber_set = set(subscriber_ids)
+    non_subscribers = [i for i in range(config.n_processes)
+                       if i not in subscriber_set]
+    return ScenarioResult(
+        config=config,
+        collector=collector,
+        published_events=published,
+        subscriber_ids=subscriber_ids,
+        non_subscriber_ids=non_subscribers,
+        sim_events_processed=sum(p["events"] for p in payloads),
+        wallclock_s=_wallclock.perf_counter() - started,
+        energy=energy,
+        faults=timeline)

@@ -1,0 +1,132 @@
+"""Spatial partitioning of one world into vertical shard stripes.
+
+A :class:`ShardPlan` slices the world's x-extent into ``K`` contiguous
+stripes of whole grid-cell columns, using the *same* cell geometry as
+:class:`repro.sim.space.SpatialGrid`: cells are ``cell_size`` wide and
+aligned to the origin (column ``c`` spans ``[c*cell, (c+1)*cell)``, the
+half-open interval ``math.floor(x / cell_size)`` induces).  Column
+``i*C//K .. (i+1)*C//K`` goes to shard ``i`` — the classic balanced
+integer split, so stripe widths differ by at most one cell and a world
+narrower than ``K`` cells simply leaves the surplus shards empty.
+
+The plan answers two geometric questions:
+
+* :meth:`ShardPlan.shard_of` — which shard owns a position (positions
+  outside the covered extent clamp to the nearest stripe, so drifting
+  mobility models never fall off the map);
+* :meth:`ShardPlan.mirror_shards` — which *other* shards could hear a
+  transmission from a position: every shard whose closed stripe
+  intersects the closed disc of the radio range around it.  This is the
+  boundary-zone predicate of the sharded engine: a frame is shipped to
+  its sender's own shard plus exactly its mirror shards.
+
+Both predicates are pure float comparisons on the column edges, so every
+worker computes the identical answers — the property suite in
+``tests/test_space.py`` checks them against brute-force oracles.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.sim.space import Vec2
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A fixed K-way vertical-stripe partition of an x-extent.
+
+    Attributes
+    ----------
+    min_x, max_x:
+        The world extent to cover, metres (``max_x > min_x``).
+    shards:
+        Number of stripes ``K >= 1``.
+    cell_size:
+        Grid-cell width, metres — callers pass the medium's inflated
+        query radius (``range + anchor slack``) so stripe borders line
+        up with :class:`~repro.sim.space.SpatialGrid` cells.
+    """
+
+    min_x: float
+    max_x: float
+    shards: int
+    cell_size: float
+    #: Half-open column index ranges ``[start, stop)`` per shard, in
+    #: absolute SpatialGrid column units (derived, not passed).
+    columns: Tuple[Tuple[int, int], ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1: {self.shards}")
+        if self.cell_size <= 0:
+            raise ValueError(f"cell_size must be positive: {self.cell_size}")
+        if not self.max_x > self.min_x:
+            raise ValueError(
+                f"need max_x > min_x: [{self.min_x}, {self.max_x}]")
+        first = math.floor(self.min_x / self.cell_size)
+        last = math.floor(self.max_x / self.cell_size)
+        total = last - first + 1
+        ranges = tuple(
+            (first + (i * total) // self.shards,
+             first + ((i + 1) * total) // self.shards)
+            for i in range(self.shards))
+        object.__setattr__(self, "columns", ranges)
+
+    # -- derived geometry ---------------------------------------------------
+
+    def stripe(self, shard: int) -> Tuple[float, float]:
+        """The half-open x-interval ``[lo, hi)`` of one shard's stripe.
+
+        Empty shards (a world narrower than K cells) return a
+        zero-width interval; boundary positions therefore always
+        resolve to exactly one owner.
+        """
+        start, stop = self.columns[shard]
+        return start * self.cell_size, stop * self.cell_size
+
+    def _edges(self) -> List[float]:
+        # Interior stripe boundaries, ascending — bisection targets.
+        return [self.columns[i][0] * self.cell_size
+                for i in range(1, self.shards)]
+
+    def shard_of(self, pos: Vec2) -> int:
+        """The single shard owning ``pos`` (clamped into the extent).
+
+        Ownership is by x only — stripes span the full y range — and is
+        total: positions left of the first stripe belong to shard 0,
+        positions at or right of the last boundary to shard K-1.
+        """
+        return bisect.bisect_right(self._edges(), pos.x)
+
+    def mirror_shards(self, pos: Vec2, range_m: float) -> List[int]:
+        """Non-owner shards whose stripe intersects the radio disc.
+
+        The closed disc of radius ``range_m`` around ``pos`` intersects
+        the closed stripe ``[lo, hi]`` iff ``pos.x + r >= lo`` and
+        ``pos.x - r <= hi`` (y never discriminates: stripes are
+        full-height).  Empty stripes are never mirrored into.
+        """
+        if range_m < 0:
+            raise ValueError(f"range_m must be >= 0: {range_m}")
+        owner = self.shard_of(pos)
+        hits: List[int] = []
+        for shard in range(self.shards):
+            if shard == owner:
+                continue
+            start, stop = self.columns[shard]
+            if start == stop:
+                continue
+            lo, hi = self.stripe(shard)
+            if pos.x + range_m >= lo and pos.x - range_m <= hi:
+                hits.append(shard)
+        return hits
+
+    def audible_shards(self, pos: Vec2, range_m: float) -> List[int]:
+        """Owner plus mirrors, ascending — every shard that must see a
+        frame transmitted from ``pos`` with radius ``range_m``."""
+        return sorted([self.shard_of(pos)] +
+                      self.mirror_shards(pos, range_m))

@@ -65,6 +65,7 @@ FIELD_CHANGES = {
     "faults": FaultConfig(churn=ChurnConfig(mean_session_s=60.0,
                                             mean_rest_s=20.0)),
     "coalesced_timers": False,
+    "shards": 2,
 }
 
 #: A fully-populated fault config plus one alternative value per

@@ -20,8 +20,8 @@ from typing import Iterator, List, Tuple
 
 import pytest
 
-DOCUMENTED_PACKAGES = ("repro.sim", "repro.net", "repro.harness",
-                       "repro.faults", "repro.core.stack",
+DOCUMENTED_PACKAGES = ("repro.sim", "repro.sim.shard", "repro.net",
+                       "repro.harness", "repro.faults", "repro.core.stack",
                        "repro.core.registry", "repro.baselines.gossip",
                        "repro.baselines.reference", "repro.rt")
 

@@ -1,0 +1,209 @@
+"""Determinism suite for the sharded-world engine (repro.sim.shard).
+
+The engine's contract mirrors the parallel runner's: splitting one world
+into K spatial shards must change *nothing* — per-seed summaries at
+K = 1, 2 and 4 are required to be exactly equal (``==`` on floats, not
+approximately) on every scenario family, including energy- and
+fault-instrumented ones; the spawn backend must reproduce the in-process
+backend bit for bit; and sharded configs must compose with the ``--jobs``
+pool and the on-disk result cache without perturbing a single digit.
+
+Worlds here are sized so the partition is non-trivial: a 1300 m side
+with a 150 m radio range gives 8 grid columns, hence 4 shards of 2
+columns each — every frame near a stripe border genuinely crosses
+shard boundaries through the epoch-barrier exchange.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy import DutyCycleConfig, EnergyConfig, PowerProfile
+from repro.faults import (ChurnConfig, FaultConfig, FaultEvent, FaultPlan,
+                          LinkLossConfig, RegionalOutage)
+from repro.harness.cache import ResultCache, config_digest
+from repro.harness.experiments import ExperimentResult
+from repro.harness.parallel import ParallelRunner
+from repro.harness.reporting import to_csv
+from repro.harness.scenario import (Publication, RandomWaypointSpec,
+                                    ScenarioConfig, run_scenario)
+from repro.net import RadioConfig
+from repro.sim.shard.engine import compute_ownership
+
+SEEDS = [0, 1]
+SHARD_COUNTS = [1, 2, 4]
+
+
+def _rwp_frugal() -> ScenarioConfig:
+    """Fig. 11 family, shrunk: frugal over random waypoint."""
+    return ScenarioConfig(
+        n_processes=20,
+        mobility=RandomWaypointSpec(width=1300.0, height=1300.0,
+                                    speed_min=10.0, speed_max=10.0),
+        duration=30.0, warmup=4.0,
+        radio=RadioConfig(range_override_m=150.0),
+        subscriber_fraction=0.75,
+        publications=(Publication(at=2.0, validity=25.0),))
+
+
+def _rwp_flooding() -> ScenarioConfig:
+    """Fig. 17 family: simple flooding, same world."""
+    return _rwp_frugal().with_changes(protocol="simple-flooding")
+
+
+def _rwp_energy() -> ScenarioConfig:
+    """Energy-lifetime family: finite batteries, duty cycling, deaths."""
+    return _rwp_frugal().with_changes(energy=EnergyConfig(
+        profile=PowerProfile.power_save(),
+        battery_capacity_j=8.0,
+        duty_cycle=DutyCycleConfig.heartbeat_aligned(1.0, 0.5)))
+
+
+def _rwp_faults() -> ScenarioConfig:
+    """All four fault mechanisms at once: plan + churn + outage + loss."""
+    return _rwp_frugal().with_changes(faults=FaultConfig(
+        plan=FaultPlan((FaultEvent(at=5.0, kind="crash", fraction=0.25,
+                                   duration=10.0),)),
+        churn=ChurnConfig(mean_session_s=15.0, mean_rest_s=5.0,
+                          fraction=0.5),
+        outages=(RegionalOutage(at=8.0, duration=6.0,
+                                center=(650.0, 650.0), radius_m=300.0),),
+        loss=LinkLossConfig(link_loss_min=0.05, link_loss_max=0.15,
+                            burst_rate_per_s=0.05,
+                            burst_mean_duration_s=2.0,
+                            burst_loss_probability=0.8)))
+
+
+#: The K-invariance matrix: one config per scenario family tested by the
+#: engine-equality suites elsewhere (figure, flooding, energy, faults).
+MATRIX = {
+    "rwp-frugal": _rwp_frugal,
+    "rwp-flooding": _rwp_flooding,
+    "rwp-energy-dutycycle": _rwp_energy,
+    "rwp-churn-faults": _rwp_faults,
+}
+
+
+@pytest.fixture(autouse=True)
+def _inproc_backend(monkeypatch):
+    """Default every test to the deterministic in-process backend; the
+    spawn test overrides this explicitly."""
+    monkeypatch.setenv("REPRO_SHARD_BACKEND", "inproc")
+
+
+class TestShardCountInvariance:
+    @pytest.mark.parametrize("name", sorted(MATRIX))
+    def test_summaries_bit_identical_across_k(self, name):
+        config = MATRIX[name]()
+        for seed in SEEDS:
+            runs = [run_scenario(config.with_changes(seed=seed, shards=k))
+                    for k in SHARD_COUNTS]
+            want = runs[0]
+            for k, got in zip(SHARD_COUNTS[1:], runs[1:]):
+                # Exact float equality — the whole point of the engine.
+                assert got.summary() == want.summary(), \
+                    f"{name} seed {seed}: K={k} diverged from K=1"
+                assert got.subscriber_ids == want.subscriber_ids
+                assert got.per_event_reports() == want.per_event_reports()
+
+    def test_partition_is_nontrivial(self):
+        """The test world really splits: 4 shards, every one populated."""
+        config = _rwp_frugal().with_changes(shards=4)
+        owners, plan = compute_ownership(config)
+        assert plan.shards == 4
+        assert all(start < stop for start, stop in plan.columns)
+        assert len(set(owners)) == 4
+
+    def test_fault_timeline_survives_the_merge(self):
+        result = run_scenario(_rwp_faults().with_changes(shards=2))
+        summary = result.summary()
+        for key in ("availability", "churn_reliability",
+                    "recovery_latency_s", "downtime_s"):
+            assert key in summary
+        assert summary["availability"] < 1.0
+        assert result.faults is not None
+        assert result.faults.down_intervals
+
+    def test_energy_fields_survive_the_merge(self):
+        result = run_scenario(_rwp_energy().with_changes(shards=2))
+        summary = result.summary()
+        for key in ("joules_per_node", "joules_per_delivery",
+                    "lifetime_s", "survivor_fraction"):
+            assert key in summary
+
+
+class TestSpawnBackend:
+    def test_spawn_matches_inproc_exactly(self, monkeypatch):
+        config = _rwp_frugal().with_changes(shards=2, duration=20.0)
+        monkeypatch.setenv("REPRO_SHARD_BACKEND", "inproc")
+        inproc = run_scenario(config)
+        monkeypatch.setenv("REPRO_SHARD_BACKEND", "spawn")
+        spawned = run_scenario(config)
+        assert spawned.summary() == inproc.summary()
+        assert spawned.per_event_reports() == inproc.per_event_reports()
+        assert spawned.sim_events_processed == inproc.sim_events_processed
+
+
+class TestComposesWithEngine:
+    """Sharding x (--jobs pool, result cache): still bit-identical."""
+
+    def test_serial_equals_pooled_equals_cached(self, tmp_path):
+        config = _rwp_frugal().with_changes(shards=2)
+        serial = ParallelRunner(jobs=1).run_seeds(config, SEEDS)
+        with ParallelRunner(jobs=2) as pool:
+            fanned = pool.run_seeds(config, SEEDS)
+        cache = ResultCache(tmp_path / "cache")
+        warm = ParallelRunner(jobs=1, cache=cache)
+        warm.run_seeds(config, SEEDS)
+        replay = ParallelRunner(jobs=1, cache=cache)
+        cached = replay.run_seeds(config, SEEDS)
+        assert replay.stats.executed == 0, \
+            "warm rerun must answer every cell from the cache"
+        for ours, pooled, hit in zip(serial.results, fanned.results,
+                                     cached.results):
+            assert ours.summary() == pooled.summary()
+            assert ours.summary() == hit.summary()
+
+    def test_csv_byte_equal_across_execution_modes(self, tmp_path):
+        """The CSV a sharded sweep writes is byte-for-byte identical
+        whether the seeds ran serially or through the pool."""
+        config = _rwp_frugal().with_changes(shards=2)
+
+        def rows_via(runner) -> ExperimentResult:
+            multi = runner.run_seeds(config, SEEDS)
+            result = ExperimentResult(
+                experiment_id="shard-csv", title="csv determinism",
+                parameters={"shards": 2})
+            summary = multi.summary()
+            result.rows.append({
+                "reliability": summary["reliability"].mean,
+                "bandwidth_bytes": summary["bandwidth_bytes"].mean,
+                "duplicates": summary["duplicates"].mean})
+            return result
+
+        serial_csv = tmp_path / "serial.csv"
+        pooled_csv = tmp_path / "pooled.csv"
+        to_csv(rows_via(ParallelRunner(jobs=1)), str(serial_csv))
+        with ParallelRunner(jobs=2) as pool:
+            to_csv(rows_via(pool), str(pooled_csv))
+        assert serial_csv.read_bytes() == pooled_csv.read_bytes()
+
+    def test_shard_count_is_part_of_the_cache_key(self):
+        config = _rwp_frugal()
+        digests = {config_digest(config.with_changes(shards=k),
+                                 version="pinned")
+                   for k in (0, 1, 2, 4)}
+        assert len(digests) == 4, \
+            "different shard counts must never share a cache entry"
+
+
+class TestConfigValidation:
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ValueError):
+            _rwp_frugal().with_changes(shards=-1)
+
+    def test_zero_shards_means_classic_engine(self):
+        config = _rwp_frugal()
+        assert config.shards == 0
+        assert run_scenario(config).summary() == \
+            run_scenario(config.with_changes(shards=0)).summary()

@@ -139,3 +139,179 @@ class TestSpatialGrid:
         grid.insert(2, Vec2(5, 5))
         assert sorted(grid.ids()) == [1, 2]
         assert dict(grid.items())[2] == Vec2(5, 5)
+
+
+# --------------------------------------------------------------------------
+# Property suites: randomized oracles for the grid and the shard partition
+# --------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.sim.shard.partition import ShardPlan  # noqa: E402
+
+#: Coordinates stay well inside float-exact territory so the brute-force
+#: oracle and the grid see literally the same arithmetic.
+_COORD = st.floats(-1000.0, 1000.0, allow_nan=False, allow_infinity=False)
+_IDS = st.integers(min_value=0, max_value=15)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), _IDS, _COORD, _COORD),
+        st.tuples(st.just("remove"), _IDS),
+        st.tuples(st.just("query"), _COORD, _COORD,
+                  st.floats(0.0, 500.0, allow_nan=False))),
+    max_size=60)
+
+
+class TestSpatialGridProperties:
+    """Randomized op sequences vs a brute-force O(N) dict oracle."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=_OPS, cell=st.floats(1.0, 100.0, allow_nan=False))
+    def test_op_sequences_match_brute_force(self, ops, cell):
+        grid = SpatialGrid(cell_size=cell)
+        oracle = {}
+        for op in ops:
+            if op[0] == "insert":        # insert *or* move, like the medium
+                _, obj_id, x, y = op
+                oracle[obj_id] = Vec2(x, y)
+                grid.insert(obj_id, Vec2(x, y))
+            elif op[0] == "remove":
+                _, obj_id = op
+                oracle.pop(obj_id, None)
+                grid.remove(obj_id)
+            else:
+                _, x, y, radius = op
+                center = Vec2(x, y)
+                want = sorted(i for i, p in oracle.items()
+                              if p.distance_to(center) <= radius)
+                assert grid.query_radius(center, radius) == want
+        assert len(grid) == len(oracle)
+        assert sorted(grid.ids()) == sorted(oracle)
+        for obj_id, pos in oracle.items():
+            assert grid.position(obj_id) == pos
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=_OPS, cell=st.floats(1.0, 100.0, allow_nan=False),
+           exclude=_IDS)
+    def test_exclusion_never_changes_other_results(self, ops, cell,
+                                                   exclude):
+        grid = SpatialGrid(cell_size=cell)
+        present = set()
+        for op in ops:
+            if op[0] == "insert":
+                grid.insert(op[1], Vec2(op[2], op[3]))
+                present.add(op[1])
+            elif op[0] == "remove":
+                grid.remove(op[1])
+                present.discard(op[1])
+            else:
+                center = Vec2(op[1], op[2])
+                full = grid.query_radius(center, op[3])
+                thinned = grid.query_radius(center, op[3], exclude=exclude)
+                assert thinned == [i for i in full if i != exclude]
+
+
+class TestShardPlanProperties:
+    """The partition invariants the sharded engine's exactness rests on.
+
+    Worlds are generated at least K cells wide so every stripe is
+    non-empty — the regime ``compute_ownership`` always produces (the
+    extent spans the real node positions).
+    """
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(),
+           shards=st.integers(1, 6),
+           cell=st.floats(10.0, 200.0, allow_nan=False),
+           min_x=st.floats(-2000.0, 2000.0, allow_nan=False))
+    def test_every_position_has_exactly_one_owner(self, data, shards,
+                                                  cell, min_x):
+        plan = ShardPlan(min_x=min_x, max_x=min_x + shards * cell + 1.0,
+                         shards=shards, cell_size=cell)
+        lo = plan.stripe(0)[0]
+        hi = plan.stripe(shards - 1)[1]
+        xs = data.draw(st.lists(
+            st.floats(lo, hi, allow_nan=False, exclude_max=True),
+            min_size=1, max_size=20))
+        for x in xs:
+            pos = Vec2(x, data.draw(_COORD))
+            containing = [s for s in range(shards)
+                          if plan.stripe(s)[0] <= x < plan.stripe(s)[1]]
+            assert len(containing) == 1, \
+                f"x={x} owned by {containing}, stripes must partition"
+            assert plan.shard_of(pos) == containing[0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(shards=st.integers(1, 6),
+           cell=st.floats(10.0, 200.0, allow_nan=False),
+           min_x=st.floats(-2000.0, 2000.0, allow_nan=False))
+    def test_stripes_tile_the_extent_contiguously(self, shards, cell,
+                                                  min_x):
+        plan = ShardPlan(min_x=min_x, max_x=min_x + shards * cell + 1.0,
+                         shards=shards, cell_size=cell)
+        for s in range(shards):
+            start, stop = plan.columns[s]
+            assert start < stop, "wide-enough worlds leave no shard empty"
+            if s:
+                assert plan.columns[s - 1][1] == start
+        # Coverage stated in exact column-index arithmetic (the float
+        # multiply-back ``start * cell`` may round past a subnormal
+        # min_x, which compute_ownership's metre-scale extents never
+        # produce): the extent's first and last grid columns fall
+        # inside the stripes.
+        assert plan.columns[0][0] == math.floor(plan.min_x
+                                                / plan.cell_size)
+        assert plan.columns[-1][1] > math.floor(plan.max_x
+                                                / plan.cell_size)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(),
+           shards=st.integers(1, 6),
+           cell=st.floats(10.0, 200.0, allow_nan=False),
+           min_x=st.floats(-2000.0, 2000.0, allow_nan=False),
+           range_m=st.floats(0.0, 500.0, allow_nan=False))
+    def test_mirrors_are_exactly_the_disc_stripe_overlaps(self, data,
+                                                          shards, cell,
+                                                          min_x, range_m):
+        plan = ShardPlan(min_x=min_x, max_x=min_x + shards * cell + 1.0,
+                         shards=shards, cell_size=cell)
+        lo = plan.stripe(0)[0]
+        hi = plan.stripe(shards - 1)[1]
+        x = data.draw(st.floats(lo, hi, allow_nan=False, exclude_max=True))
+        pos = Vec2(x, data.draw(_COORD))
+        owner = plan.shard_of(pos)
+        mirrors = plan.mirror_shards(pos, range_m)
+        # Oracle: interval intersection computed the other way round.
+        want = [s for s in range(shards) if s != owner
+                and max(plan.stripe(s)[0], x - range_m)
+                <= min(plan.stripe(s)[1], x + range_m)]
+        assert mirrors == want
+        assert owner not in mirrors
+        audible = plan.audible_shards(pos, range_m)
+        assert audible == sorted(set([owner] + mirrors))
+        # Soundness — the engine's boundary-zone guarantee: the owner of
+        # any point within radio range is one of the audible shards.
+        dx = data.draw(st.floats(-range_m, range_m, allow_nan=False)) \
+            if range_m else 0.0
+        q = Vec2(min(max(x + dx, lo), math.nextafter(hi, lo)),
+                 pos.y)
+        assert plan.shard_of(q) in audible
+
+    @settings(max_examples=50, deadline=None)
+    @given(shards=st.integers(1, 6),
+           cell=st.floats(10.0, 200.0, allow_nan=False),
+           min_x=st.floats(-2000.0, 2000.0, allow_nan=False),
+           x=st.floats(-4000.0, 4000.0, allow_nan=False),
+           r_small=st.floats(0.0, 200.0, allow_nan=False),
+           r_grow=st.floats(0.0, 300.0, allow_nan=False))
+    def test_mirrors_grow_monotonically_with_range(self, shards, cell,
+                                                   min_x, x, r_small,
+                                                   r_grow):
+        plan = ShardPlan(min_x=min_x, max_x=min_x + shards * cell + 1.0,
+                         shards=shards, cell_size=cell)
+        pos = Vec2(x, 0.0)
+        small = set(plan.mirror_shards(pos, r_small))
+        large = set(plan.mirror_shards(pos, r_small + r_grow))
+        assert small <= large

@@ -341,3 +341,64 @@ class TestBatchPrimitives:
                      or math.hypot(x - rx_pos.x, y - rx_pos.y) <= 150.0)
                 for seq, sender, x, y, start, end in frames)
             assert bool(verdicts[k]) == expect
+
+
+class TestTimerCoalescingCross:
+    """The timer wheel crossed with the engine ladder: six combos.
+
+    ``with_scalar_engine()`` / ``with_flat_medium()`` force
+    ``coalesced_timers=False``, so the ladder tests above never exercise
+    the wheel *on* the scalar rungs (or off the vectorized one).  This
+    suite builds all six (engine x wheel) combinations explicitly via
+    ``with_changes`` and requires the full receive trace — summaries,
+    per-event reports and the raw delivery-time map — to be identical:
+    timer coalescing must be a pure scheduling optimisation on every
+    rung, not just the default one.
+    """
+
+    @staticmethod
+    def _combos(cfg: ScenarioConfig) -> dict:
+        from dataclasses import replace
+        grid = replace(cfg.medium, vectorized=False)
+        flat = replace(cfg.medium, vectorized=False, spatial_index=False)
+        return {
+            "vec+wheel": cfg.with_changes(coalesced_timers=True),
+            "vec": cfg.with_changes(coalesced_timers=False),
+            "grid+wheel": cfg.with_changes(medium=grid,
+                                           coalesced_timers=True),
+            "grid": cfg.with_changes(medium=grid,
+                                     coalesced_timers=False),
+            "flat+wheel": cfg.with_changes(medium=flat,
+                                           coalesced_timers=True),
+            "flat": cfg.with_changes(medium=flat,
+                                     coalesced_timers=False),
+        }
+
+    @pytest.mark.parametrize("family", ["fig11", "fig17",
+                                        "rwp-churn-faults"])
+    def test_wheel_is_invisible_on_every_rung(self, family):
+        combos = self._combos(FAMILIES[family]())
+        baseline = run_scenario(combos["vec+wheel"])
+        for name, combo in combos.items():
+            if name == "vec+wheel":
+                continue
+            got = run_scenario(combo)
+            assert got.summary() == baseline.summary(), \
+                f"{family}: {name} diverged from vec+wheel"
+            assert got.per_event_reports() == \
+                baseline.per_event_reports(), \
+                f"{family}: {name} per-event reports diverged"
+            assert got.collector.delivery_times == \
+                baseline.collector.delivery_times, \
+                f"{family}: {name} delivery traces diverged"
+
+    def test_explicit_combos_cover_the_forced_gap(self):
+        """The helper really reaches the combos the canned switches
+        exclude: a scalar rung with the wheel on, and vec without it."""
+        combos = self._combos(_fig11())
+        assert not combos["grid+wheel"].medium.vectorized
+        assert combos["grid+wheel"].coalesced_timers
+        assert not combos["flat+wheel"].medium.spatial_index
+        assert combos["flat+wheel"].coalesced_timers
+        assert combos["vec"].medium.vectorized
+        assert not combos["vec"].coalesced_timers
