@@ -44,7 +44,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment id (fig11..fig20, abl-gc, abl-backoff, "
              "abl-adaptive-hb, abl-ids, abl-dutycycle, abl-outage, "
              "energy-lifetime, churn-resilience, protocol-matrix, "
-             "loopback-bridge, city-scale), 'all', or 'list'")
+             "loopback-bridge, city-scale, study-frontier), 'all', "
+             "'list', or 'study' (declarative studies; see --list/--run)")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="with 'study': list the registered study declarations")
+    parser.add_argument(
+        "--run", default=None, metavar="STUDY",
+        help="with 'study': run one registered study by id "
+             "(e.g. 'study --run study-frontier')")
     parser.add_argument(
         "--scale", default=None, choices=["smoke", "quick", "paper"],
         help="experiment scale (default: REPRO_SCALE env or quick; "
@@ -101,6 +109,8 @@ def run_one(experiment_id: str, scale_name: Optional[str],
     pivot = experiment_pivot(result)
     if pivot:
         print("\n" + pivot)
+    for note in result.notes:
+        print("\n" + note)
     print(format_engine_stats(runner.stats, jobs=runner.jobs,
                               cached=runner.cache is not None))
     if csv_path:
@@ -118,6 +128,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip()
             print(f"  {name:16s} {doc.splitlines()[0]}")
         return 0
+    if args.experiment == "study":
+        # Imported lazily: only the study path needs the declarations.
+        from repro.study.studies import STUDIES
+        if args.run is None:
+            print("registered studies (run with 'study --run <id>'):")
+            for study in STUDIES.values():
+                print(f"  {study.study_id:16s} {study.summary}")
+            return 0
+        if args.run not in STUDIES:
+            print(f"unknown study {args.run!r}; try 'study --list'",
+                  file=sys.stderr)
+            return 2
     if args.shards < 0:
         print(f"--shards must be >= 0, got {args.shards}", file=sys.stderr)
         return 2
@@ -131,6 +153,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 run_one(name, args.scale, str(out_dir / f"{name}.csv"),
                         seed=args.seed)
                 print()
+            return 0
+        if args.experiment == "study":
+            # Every registered study is also an ALL_EXPERIMENTS entry,
+            # so the study path reuses the standard run/print/CSV flow.
+            run_one(args.run, args.scale, args.csv, seed=args.seed)
             return 0
         if args.experiment not in ALL_EXPERIMENTS:
             print(f"unknown experiment {args.experiment!r}; "

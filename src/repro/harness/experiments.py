@@ -52,13 +52,45 @@ class ExperimentResult:
     title: str
     parameters: Dict[str, object]
     rows: List[Dict[str, float]] = field(default_factory=list)
+    #: Printable analysis attachments (study pivots, component delta
+    #: tables, Pareto frontiers) the CLI renders below the row table.
+    #: Notes never influence ``rows`` or the CSV output.
+    notes: List[str] = field(default_factory=list)
+
+    def known_columns(self) -> List[str]:
+        """Every column name any row carries, first-seen order."""
+        columns: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return columns
 
     def column(self, name: str) -> List[float]:
         """All values of one named column, in row order."""
-        return [row[name] for row in self.rows]
+        try:
+            return [row[name] for row in self.rows]
+        except KeyError:
+            raise KeyError(
+                f"experiment {self.experiment_id!r} has no column "
+                f"{name!r}; known columns: {self.known_columns()}"
+            ) from None
 
     def filter(self, **criteria) -> List[Dict[str, float]]:
-        """Rows matching all the given parameter values."""
+        """Rows matching all the given parameter values.
+
+        Criteria keys must name real columns — a typo'd name raises
+        :class:`KeyError` listing the known columns instead of
+        silently matching nothing.  (Rows of a heterogeneous result
+        may individually lack a known column; those rows simply do
+        not match.)
+        """
+        known = self.known_columns()
+        for key in criteria:
+            if key not in known:
+                raise KeyError(
+                    f"experiment {self.experiment_id!r} has no column "
+                    f"{key!r} to filter on; known columns: {known}")
         out = []
         for row in self.rows:
             if all(row.get(k) == v for k, v in criteria.items()):
@@ -443,25 +475,11 @@ def ablation_dutycycle(scale: Optional[Scale] = None,
     flooder's clock-driven frames pile up at window starts and collide,
     so it pays in reliability for the joules it saves.
     """
+    from repro.study import run_study
+    from repro.study.studies import dutycycle_study
     scale = scale or get_scale()
-    result = ExperimentResult(
-        experiment_id="abl-dutycycle",
-        title="Duty-cycling ablation (heartbeat-aligned sleep windows)",
-        parameters={"scale": scale.name,
-                    "protocols": list(ENERGY_PROTOCOLS),
-                    "awake_fractions": list(awake_fractions)})
-    for protocol in ENERGY_PROTOCOLS:
-        for awake in awake_fractions:
-            cfg = energy_scenario(scale, protocol, awake_fraction=awake)
-            multi = run_seeds(cfg, scale.seed_list())
-            summary = multi.summary()
-            result.rows.append({
-                "protocol": protocol, "awake_fraction": awake,
-                "reliability": summary["reliability"].mean,
-                "joules_per_node": summary["joules_per_node"].mean,
-                "joules_per_delivery": summary["joules_per_delivery"].mean,
-                "bandwidth_bytes": summary["bandwidth_bytes"].mean})
-    return result
+    return run_study(dutycycle_study(
+        scale, awake_fractions=tuple(awake_fractions))).experiment
 
 
 # --------------------------------------------------------------------------
@@ -595,37 +613,10 @@ def ablation_outage(scale: Optional[Scale] = None) -> ExperimentResult:
     (state lost) and the no-outage baseline: the frugal protocol's
     validity periods are what lets the silenced region catch up.
     """
+    from repro.study import run_study
+    from repro.study.studies import outage_study
     scale = scale or get_scale()
-    fractions = scale.pick([0.25, 0.5, 0.75], [0.5])
-    variants = [("none", 0.0)] + [(kind, frac)
-                                  for kind in ("silence", "crash")
-                                  for frac in fractions]
-    result = ExperimentResult(
-        experiment_id="abl-outage",
-        title="Regional outage ablation (60 s outage, random waypoint)",
-        parameters={"scale": scale.name,
-                    "kinds": ["none", "silence", "crash"],
-                    "radius_fractions": fractions})
-    half = scale.rwp_area_m / 2.0
-    for kind, frac in variants:
-        if kind == "none":
-            faults = FaultConfig()
-        else:
-            faults = FaultConfig(outages=(RegionalOutage(
-                at=20.0, duration=60.0, center=(half, half),
-                radius_m=frac * half, kind=kind),))
-        cfg = rwp_scenario(scale, 10.0, 10.0, validity=100.0,
-                           interest=0.8, n_events=5,
-                           duration=120.0).with_changes(faults=faults)
-        multi = run_seeds(cfg, scale.seed_list())
-        summary = multi.summary()
-        row = {"outage": kind, "radius_frac": frac,
-               "reliability": summary["reliability"].mean,
-               "bandwidth_bytes": summary["bandwidth_bytes"].mean}
-        for name in FAULT_METRICS:
-            row[name] = summary[name].mean
-        result.rows.append(row)
-    return result
+    return run_study(outage_study(scale)).experiment
 
 
 # --------------------------------------------------------------------------
@@ -675,54 +666,20 @@ def ablation_gc(scale: Optional[Scale] = None,
     the policy decides who survives to be re-disseminated.  Measured:
     reliability (long- and short-validity events averaged together).
     """
+    # Imported lazily: repro.study imports this module for the scenario
+    # builders and ExperimentResult.
+    from repro.study import run_study
+    from repro.study.studies import gc_study
     scale = scale or get_scale()
-    policies = ["validity-forward", "remaining-validity", "fifo", "random"]
-    result = ExperimentResult(
-        experiment_id="abl-gc",
-        title=f"Eviction policy comparison (event table capacity "
-              f"{capacity})",
-        parameters={"scale": scale.name, "capacity": capacity,
-                    "policies": policies})
-    n_events = 16
-    for policy in policies:
-        frugal = FrugalConfig.paper_random_waypoint().with_changes(
-            event_table_capacity=capacity, eviction_policy=policy)
-        cfg = rwp_scenario(scale, 10.0, 10.0, validity=120.0, interest=0.8,
-                           n_events=n_events, duration=160.0, frugal=frugal)
-        multi = run_seeds(cfg, scale.seed_list())
-        summary = multi.summary()
-        result.rows.append({
-            "policy": policy,
-            "reliability": summary["reliability"].mean,
-            "duplicates": summary["duplicates"].mean})
-    return result
+    return run_study(gc_study(scale, capacity=capacity)).experiment
 
 
 def ablation_backoff(scale: Optional[Scale] = None) -> ExperimentResult:
     """abl-backoff: the contention back-off vs sending immediately."""
+    from repro.study import run_study
+    from repro.study.studies import backoff_study
     scale = scale or get_scale()
-    variants = {
-        "backoff+suppression": {},
-        "no-suppression": {"backoff_suppression": False},
-        "no-backoff": {"use_backoff": False,
-                       "backoff_suppression": False},
-    }
-    result = ExperimentResult(
-        experiment_id="abl-backoff",
-        title="Back-off / suppression ablation (duplicates per process)",
-        parameters={"scale": scale.name, "variants": list(variants)})
-    for name, changes in variants.items():
-        frugal = FrugalConfig.paper_random_waypoint().with_changes(**changes)
-        cfg = rwp_scenario(scale, 10.0, 10.0, validity=180.0, interest=0.8,
-                           n_events=5, duration=180.0, frugal=frugal)
-        multi = run_seeds(cfg, scale.seed_list())
-        summary = multi.summary()
-        result.rows.append({
-            "variant": name,
-            "reliability": summary["reliability"].mean,
-            "duplicates": summary["duplicates"].mean,
-            "bandwidth_bytes": summary["bandwidth_bytes"].mean})
-    return result
+    return run_study(backoff_study(scale)).experiment
 
 
 def ablation_heartbeat(scale: Optional[Scale] = None) -> ExperimentResult:
@@ -732,47 +689,18 @@ def ablation_heartbeat(scale: Optional[Scale] = None) -> ExperimentResult:
     shortens the beacon period as the network speeds up; the static
     variant stays at the bound and detects neighbours late.
     """
+    from repro.study import run_study
+    from repro.study.studies import adaptive_hb_study
     scale = scale or get_scale()
-    speeds = [5.0, 20.0, 40.0]
-    result = ExperimentResult(
-        experiment_id="abl-adaptive-hb",
-        title="Adaptive vs static heartbeat (hb upper bound 5 s)",
-        parameters={"scale": scale.name, "speeds": speeds})
-    for adaptive in (True, False):
-        for speed in speeds:
-            frugal = FrugalConfig.paper_random_waypoint().with_changes(
-                hb_upper_bound=5.0, adaptive_heartbeat=adaptive)
-            cfg = rwp_scenario(scale, speed, speed, validity=120.0,
-                               interest=0.8, frugal=frugal)
-            multi = run_seeds(cfg, scale.seed_list())
-            summary = multi.summary()
-            result.rows.append({
-                "adaptive": adaptive, "speed": speed,
-                "reliability": summary["reliability"].mean,
-                "bandwidth_bytes": summary["bandwidth_bytes"].mean})
-    return result
+    return run_study(adaptive_hb_study(scale)).experiment
 
 
 def ablation_ids(scale: Optional[Scale] = None) -> ExperimentResult:
     """abl-ids: exchanging event ids first vs pushing events blindly."""
+    from repro.study import run_study
+    from repro.study.studies import ids_study
     scale = scale or get_scale()
-    result = ExperimentResult(
-        experiment_id="abl-ids",
-        title="Event-id exchange vs blind push (duplicates, bandwidth)",
-        parameters={"scale": scale.name})
-    for announce in (True, False):
-        frugal = FrugalConfig.paper_random_waypoint().with_changes(
-            announce_on_new_neighbor=announce)
-        cfg = rwp_scenario(scale, 10.0, 10.0, validity=180.0, interest=0.8,
-                           n_events=5, duration=180.0, frugal=frugal)
-        multi = run_seeds(cfg, scale.seed_list())
-        summary = multi.summary()
-        result.rows.append({
-            "id_exchange": announce,
-            "reliability": summary["reliability"].mean,
-            "duplicates": summary["duplicates"].mean,
-            "bandwidth_bytes": summary["bandwidth_bytes"].mean})
-    return result
+    return run_study(ids_study(scale)).experiment
 
 
 # --------------------------------------------------------------------------
@@ -862,6 +790,23 @@ def loopback_bridge(scale: Optional[Scale] = None) -> ExperimentResult:
     return _bridge(scale)
 
 
+def study_frontier(scale: Optional[Scale] = None) -> ExperimentResult:
+    """study-frontier: the frugality Pareto frontier, cube-swept.
+
+    A protocol x churn-rate x duty-cycle cube, every cell energy- and
+    fault-instrumented, with automatic Pareto-frontier extraction over
+    churn-aware reliability (max), joules per node (min), bandwidth
+    (min) and recovery latency (min) — the study the declarative layer
+    exists for (declared in :mod:`repro.study.studies`).  The result's
+    notes carry the pivot grid and the frontier/dominated tables the
+    CLI prints below the rows.
+    """
+    from repro.study import run_study
+    from repro.study.studies import frontier_study
+    scale = scale or get_scale()
+    return run_study(frontier_study(scale)).experiment
+
+
 ALL_EXPERIMENTS: Dict[str, Callable[[Optional[Scale]], ExperimentResult]] = {
     "fig11": fig11, "fig12": fig12, "fig13": fig13, "fig14": fig14,
     "fig15": fig15, "fig16": fig16, "fig17": fig17, "fig18": fig18,
@@ -876,4 +821,5 @@ ALL_EXPERIMENTS: Dict[str, Callable[[Optional[Scale]], ExperimentResult]] = {
     "protocol-matrix": protocol_matrix,
     "loopback-bridge": loopback_bridge,
     "city-scale": city_scale,
+    "study-frontier": study_frontier,
 }

@@ -1,0 +1,200 @@
+"""Frozen hand-written ablations: the pre-study reference implementations.
+
+Verbatim copies of the six ``abl-*`` experiment functions as they were
+written before :mod:`repro.study` collapsed them into declarations
+(the same pattern as :mod:`repro.baselines.reference` for protocol
+pseudocode).  They exist solely so the declaration-equivalence suite
+(``tests/test_study.py``) can prove each collapsed study
+result-identical — same rows, same row order, same CSV bytes — to the
+nested loops it replaced.  Nothing in the library calls these; do not
+"improve" them, their value is that they never change.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.config import FrugalConfig
+from repro.faults import FaultConfig, RegionalOutage
+from repro.harness.experiments import (ENERGY_PROTOCOLS, FAULT_METRICS,
+                                       ExperimentResult, energy_scenario,
+                                       rwp_scenario)
+from repro.harness.parallel import run_seeds
+from repro.harness.presets import Scale, get_scale
+
+__all__ = ["frozen_ablation_gc", "frozen_ablation_backoff",
+           "frozen_ablation_heartbeat", "frozen_ablation_ids",
+           "frozen_ablation_dutycycle", "frozen_ablation_outage",
+           "FROZEN_ABLATIONS"]
+
+
+def frozen_ablation_gc(scale: Optional[Scale] = None,
+                       capacity: int = 8) -> ExperimentResult:
+    """abl-gc as originally hand-written (see module docstring)."""
+    scale = scale or get_scale()
+    policies = ["validity-forward", "remaining-validity", "fifo", "random"]
+    result = ExperimentResult(
+        experiment_id="abl-gc",
+        title=f"Eviction policy comparison (event table capacity "
+              f"{capacity})",
+        parameters={"scale": scale.name, "capacity": capacity,
+                    "policies": policies})
+    n_events = 16
+    for policy in policies:
+        frugal = FrugalConfig.paper_random_waypoint().with_changes(
+            event_table_capacity=capacity, eviction_policy=policy)
+        cfg = rwp_scenario(scale, 10.0, 10.0, validity=120.0, interest=0.8,
+                           n_events=n_events, duration=160.0, frugal=frugal)
+        multi = run_seeds(cfg, scale.seed_list())
+        summary = multi.summary()
+        result.rows.append({
+            "policy": policy,
+            "reliability": summary["reliability"].mean,
+            "duplicates": summary["duplicates"].mean})
+    return result
+
+
+def frozen_ablation_backoff(scale: Optional[Scale] = None
+                            ) -> ExperimentResult:
+    """abl-backoff as originally hand-written (see module docstring)."""
+    scale = scale or get_scale()
+    variants = {
+        "backoff+suppression": {},
+        "no-suppression": {"backoff_suppression": False},
+        "no-backoff": {"use_backoff": False,
+                       "backoff_suppression": False},
+    }
+    result = ExperimentResult(
+        experiment_id="abl-backoff",
+        title="Back-off / suppression ablation (duplicates per process)",
+        parameters={"scale": scale.name, "variants": list(variants)})
+    for name, changes in variants.items():
+        frugal = FrugalConfig.paper_random_waypoint().with_changes(**changes)
+        cfg = rwp_scenario(scale, 10.0, 10.0, validity=180.0, interest=0.8,
+                           n_events=5, duration=180.0, frugal=frugal)
+        multi = run_seeds(cfg, scale.seed_list())
+        summary = multi.summary()
+        result.rows.append({
+            "variant": name,
+            "reliability": summary["reliability"].mean,
+            "duplicates": summary["duplicates"].mean,
+            "bandwidth_bytes": summary["bandwidth_bytes"].mean})
+    return result
+
+
+def frozen_ablation_heartbeat(scale: Optional[Scale] = None
+                              ) -> ExperimentResult:
+    """abl-adaptive-hb as originally hand-written (see module docstring)."""
+    scale = scale or get_scale()
+    speeds = [5.0, 20.0, 40.0]
+    result = ExperimentResult(
+        experiment_id="abl-adaptive-hb",
+        title="Adaptive vs static heartbeat (hb upper bound 5 s)",
+        parameters={"scale": scale.name, "speeds": speeds})
+    for adaptive in (True, False):
+        for speed in speeds:
+            frugal = FrugalConfig.paper_random_waypoint().with_changes(
+                hb_upper_bound=5.0, adaptive_heartbeat=adaptive)
+            cfg = rwp_scenario(scale, speed, speed, validity=120.0,
+                               interest=0.8, frugal=frugal)
+            multi = run_seeds(cfg, scale.seed_list())
+            summary = multi.summary()
+            result.rows.append({
+                "adaptive": adaptive, "speed": speed,
+                "reliability": summary["reliability"].mean,
+                "bandwidth_bytes": summary["bandwidth_bytes"].mean})
+    return result
+
+
+def frozen_ablation_ids(scale: Optional[Scale] = None) -> ExperimentResult:
+    """abl-ids as originally hand-written (see module docstring)."""
+    scale = scale or get_scale()
+    result = ExperimentResult(
+        experiment_id="abl-ids",
+        title="Event-id exchange vs blind push (duplicates, bandwidth)",
+        parameters={"scale": scale.name})
+    for announce in (True, False):
+        frugal = FrugalConfig.paper_random_waypoint().with_changes(
+            announce_on_new_neighbor=announce)
+        cfg = rwp_scenario(scale, 10.0, 10.0, validity=180.0, interest=0.8,
+                           n_events=5, duration=180.0, frugal=frugal)
+        multi = run_seeds(cfg, scale.seed_list())
+        summary = multi.summary()
+        result.rows.append({
+            "id_exchange": announce,
+            "reliability": summary["reliability"].mean,
+            "duplicates": summary["duplicates"].mean,
+            "bandwidth_bytes": summary["bandwidth_bytes"].mean})
+    return result
+
+
+def frozen_ablation_dutycycle(scale: Optional[Scale] = None,
+                              awake_fractions: Sequence[float] =
+                              (1.0, 0.5, 0.25)) -> ExperimentResult:
+    """abl-dutycycle as originally hand-written (see module docstring)."""
+    scale = scale or get_scale()
+    result = ExperimentResult(
+        experiment_id="abl-dutycycle",
+        title="Duty-cycling ablation (heartbeat-aligned sleep windows)",
+        parameters={"scale": scale.name,
+                    "protocols": list(ENERGY_PROTOCOLS),
+                    "awake_fractions": list(awake_fractions)})
+    for protocol in ENERGY_PROTOCOLS:
+        for awake in awake_fractions:
+            cfg = energy_scenario(scale, protocol, awake_fraction=awake)
+            multi = run_seeds(cfg, scale.seed_list())
+            summary = multi.summary()
+            result.rows.append({
+                "protocol": protocol, "awake_fraction": awake,
+                "reliability": summary["reliability"].mean,
+                "joules_per_node": summary["joules_per_node"].mean,
+                "joules_per_delivery": summary["joules_per_delivery"].mean,
+                "bandwidth_bytes": summary["bandwidth_bytes"].mean})
+    return result
+
+
+def frozen_ablation_outage(scale: Optional[Scale] = None
+                           ) -> ExperimentResult:
+    """abl-outage as originally hand-written (see module docstring)."""
+    scale = scale or get_scale()
+    fractions = scale.pick([0.25, 0.5, 0.75], [0.5])
+    variants = [("none", 0.0)] + [(kind, frac)
+                                  for kind in ("silence", "crash")
+                                  for frac in fractions]
+    result = ExperimentResult(
+        experiment_id="abl-outage",
+        title="Regional outage ablation (60 s outage, random waypoint)",
+        parameters={"scale": scale.name,
+                    "kinds": ["none", "silence", "crash"],
+                    "radius_fractions": fractions})
+    half = scale.rwp_area_m / 2.0
+    for kind, frac in variants:
+        if kind == "none":
+            faults = FaultConfig()
+        else:
+            faults = FaultConfig(outages=(RegionalOutage(
+                at=20.0, duration=60.0, center=(half, half),
+                radius_m=frac * half, kind=kind),))
+        cfg = rwp_scenario(scale, 10.0, 10.0, validity=100.0,
+                           interest=0.8, n_events=5,
+                           duration=120.0).with_changes(faults=faults)
+        multi = run_seeds(cfg, scale.seed_list())
+        summary = multi.summary()
+        row = {"outage": kind, "radius_frac": frac,
+               "reliability": summary["reliability"].mean,
+               "bandwidth_bytes": summary["bandwidth_bytes"].mean}
+        for name in FAULT_METRICS:
+            row[name] = summary[name].mean
+        result.rows.append(row)
+    return result
+
+
+#: study id -> its frozen hand-written reference implementation.
+FROZEN_ABLATIONS = {
+    "abl-gc": frozen_ablation_gc,
+    "abl-backoff": frozen_ablation_backoff,
+    "abl-adaptive-hb": frozen_ablation_heartbeat,
+    "abl-ids": frozen_ablation_ids,
+    "abl-dutycycle": frozen_ablation_dutycycle,
+    "abl-outage": frozen_ablation_outage,
+}

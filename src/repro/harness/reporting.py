@@ -146,14 +146,60 @@ def availability_timeline(timeline, buckets: int = 10) -> str:
 
 
 #: Per-experiment pivot renderings the CLI appends below the row table:
-#: experiment id -> kwargs for :func:`reliability_grid`.  The
+#: experiment id -> kwargs for :func:`pivot_table` (``row_key`` /
+#: ``col_key`` may each be one column name or a tuple of them).  The
 #: ``protocol-matrix`` sweep is the flagship consumer — a protocol x
 #: churn-rate grid of churn-aware reliability reads like the paper's
 #: comparison figures.
-EXPERIMENT_PIVOTS: Dict[str, Dict[str, str]] = {
+EXPERIMENT_PIVOTS: Dict[str, Dict[str, object]] = {
     "protocol-matrix": {"row_key": "protocol", "col_key": "churn_per_min",
                         "value_key": "churn_reliability"},
 }
+
+
+def _key_tuple(keys) -> tuple:
+    """Normalise one column name or a sequence of them to a tuple."""
+    return (keys,) if isinstance(keys, str) else tuple(keys)
+
+
+def pivot_table(rows: Sequence[Dict], row_keys, col_keys,
+                value_key: str) -> str:
+    """Pivot dict-rows into a grid: row keys x col keys -> value.
+
+    The multi-key generalisation every pivot rendering goes through:
+    ``row_keys``/``col_keys`` are each one column name or a sequence
+    of them; each distinct row-key combination becomes one line (one
+    label column per key) and each distinct col-key combination one
+    column, sorted by value.  Combinations absent from ``rows`` render
+    as ``nan``.  With single string keys the output is byte-identical
+    to the historical :func:`reliability_grid` rendering.
+    """
+    row_keys = _key_tuple(row_keys)
+    col_keys = _key_tuple(col_keys)
+    if not row_keys or not col_keys:
+        raise ValueError("pivot_table needs at least one row and col key")
+    rows = list(rows)
+    if rows:
+        known = sorted({k for row in rows for k in row})
+        missing = [k for k in (*row_keys, *col_keys, value_key)
+                   if k not in known]
+        if missing:
+            raise KeyError(f"pivot keys {missing} not found in rows; "
+                           f"known columns: {known}")
+    row_vals = sorted({tuple(r[k] for k in row_keys) for r in rows})
+    col_vals = sorted({tuple(r[k] for k in col_keys) for r in rows})
+    lookup = {(tuple(r[k] for k in row_keys),
+               tuple(r[k] for k in col_keys)): r[value_key] for r in rows}
+    def _col_label(cv: tuple) -> str:
+        return ",".join(f"{k}={_render_cell(v)}"
+                        for k, v in zip(col_keys, cv))
+    table = []
+    for rv in row_vals:
+        line = dict(zip(row_keys, rv))
+        for cv in col_vals:
+            line[_col_label(cv)] = lookup.get((rv, cv), float("nan"))
+        table.append(line)
+    return format_table(table)
 
 
 def experiment_pivot(result: ExperimentResult) -> Optional[str]:
@@ -166,27 +212,25 @@ def experiment_pivot(result: ExperimentResult) -> Optional[str]:
     spec = EXPERIMENT_PIVOTS.get(result.experiment_id)
     if spec is None or not result.rows:
         return None
-    needed = set(spec.values())
+    row_keys = _key_tuple(spec["row_key"])
+    col_keys = _key_tuple(spec["col_key"])
+    value_key = spec["value_key"]
+    needed = set(row_keys) | set(col_keys) | {value_key}
     if not needed.issubset(result.rows[0]):
         return None
-    title = f"-- {spec['value_key']} by {spec['row_key']} --"
-    return title + "\n" + reliability_grid(result, **spec)
+    title = f"-- {value_key} by {' x '.join(row_keys)} --"
+    return title + "\n" + pivot_table(result.rows, row_keys, col_keys,
+                                      value_key)
 
 
 def reliability_grid(result: ExperimentResult, row_key: str,
                      col_key: str, value_key: str = "reliability",
                      **fixed) -> str:
     """Pivot rows into a 2-D grid (e.g. speed x validity -> reliability),
-    mirroring the paper's 3-D surface plots as a text matrix."""
+    mirroring the paper's 3-D surface plots as a text matrix.
+
+    A thin wrapper over :func:`pivot_table` keeping the historical
+    single-key signature; ``fixed`` pre-filters the rows.
+    """
     rows = result.filter(**fixed) if fixed else result.rows
-    row_vals = sorted({r[row_key] for r in rows})
-    col_vals = sorted({r[col_key] for r in rows})
-    lookup = {(r[row_key], r[col_key]): r[value_key] for r in rows}
-    table = []
-    for rv in row_vals:
-        line = {row_key: rv}
-        for cv in col_vals:
-            line[f"{col_key}={_render_cell(cv)}"] = lookup.get((rv, cv),
-                                                               float("nan"))
-        table.append(line)
-    return format_table(table)
+    return pivot_table(rows, row_key, col_key, value_key)

@@ -1,0 +1,38 @@
+"""Declarative studies: axis grids + component toggles over the registry.
+
+The study subsystem turns experiment matrices from hand-written nested
+loops into declarations: a :class:`StudySpec` names a base scenario,
+an ordered grid of :class:`Axis` sweeps and :class:`Component`
+:class:`Toggles`, the seeds and the :class:`Metric` columns — and
+:func:`run_study` expands, executes (one batch through the cached
+parallel engine, so re-runs only compute dirty cells) and folds the
+result into the same :class:`~repro.harness.experiments.ExperimentResult`
+shape every hand-written experiment produces.  Analysis rides along:
+multi-key pivots (:class:`PivotSpec`), component delta tables, and
+Pareto-frontier extraction (:class:`Objective`,
+:func:`pareto_frontier`).
+
+The registered declarations live in :mod:`repro.study.studies`; the
+six ``abl-*`` entries are proven result-identical to their frozen
+hand-written originals by ``tests/test_study.py``.
+"""
+
+from repro.study.analysis import (DominatedPoint, FrontierResult,
+                                  component_deltas, delta_report,
+                                  dominates, frontier_report,
+                                  pareto_frontier, pivot_report)
+from repro.study.engine import StudyResult, run_study
+from repro.study.spec import (Axis, Component, Metric, Objective,
+                              PivotSpec, StudyCell, StudySpec, Toggles,
+                              Variant, expand, set_field_path)
+from repro.study.studies import (STUDIES, Study, build_study, get_study,
+                                 study_names)
+
+__all__ = [
+    "Axis", "Component", "Variant", "Toggles", "Metric", "Objective",
+    "PivotSpec", "StudySpec", "StudyCell", "set_field_path", "expand",
+    "StudyResult", "run_study",
+    "DominatedPoint", "FrontierResult", "dominates", "pareto_frontier",
+    "frontier_report", "component_deltas", "delta_report", "pivot_report",
+    "Study", "STUDIES", "study_names", "get_study", "build_study",
+]

@@ -1,0 +1,214 @@
+"""Analysis over study result matrices: Pareto frontiers and deltas.
+
+Operates on plain row dicts (the ``rows`` of an
+:class:`~repro.harness.experiments.ExperimentResult`), so everything
+here composes with hand-written experiments too.  Rendering goes
+through :func:`repro.harness.reporting.format_table` /
+:func:`~repro.harness.reporting.pivot_table`, keeping the console
+output consistent with every other table the harness prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.harness.reporting import _render_cell, format_table, pivot_table
+from repro.study.spec import Metric, Objective, PivotSpec
+
+__all__ = ["DominatedPoint", "FrontierResult", "dominates",
+           "pareto_frontier", "frontier_report", "component_deltas",
+           "delta_report", "pivot_report"]
+
+
+# --------------------------------------------------------------------------
+# Pareto frontiers
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DominatedPoint:
+    """A dominated row together with one witness that dominates it."""
+
+    row: Mapping[str, object]
+    by: Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class FrontierResult:
+    """Pareto extraction outcome: the frontier plus dominated points."""
+
+    frontier: Tuple[Mapping[str, object], ...]
+    dominated: Tuple[DominatedPoint, ...]
+    objectives: Tuple[Objective, ...]
+
+
+def _objective_vector(row: Mapping[str, object],
+                      objectives: Sequence[Objective]) -> List[float]:
+    vec = []
+    for objective in objectives:
+        if objective.key not in row:
+            raise KeyError(
+                f"objective {objective.key!r} missing from row; "
+                f"known columns: {sorted(row)}")
+        value = row[objective.key]
+        if not isinstance(value, (int, float)) \
+                or not math.isfinite(float(value)):
+            raise ValueError(
+                f"objective {objective.key!r} has non-finite value "
+                f"{value!r}: Pareto dominance over inf/NaN is undefined "
+                f"— filter such rows (or fix the metric) before "
+                f"extracting a frontier")
+        vec.append(float(value))
+    return vec
+
+
+def dominates(a: Sequence[float], b: Sequence[float],
+              objectives: Sequence[Objective]) -> bool:
+    """Whether objective vector ``a`` Pareto-dominates ``b``.
+
+    ``a`` dominates ``b`` when it is at least as good in *every*
+    objective and strictly better in at least one.  Exactly equal
+    vectors dominate each other in neither direction, so ties survive
+    to the frontier together.
+    """
+    strictly_better = False
+    for objective, va, vb in zip(objectives, a, b):
+        if objective.better(vb, va):
+            return False
+        if objective.better(va, vb):
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_frontier(rows: Sequence[Mapping[str, object]],
+                    objectives: Sequence[Objective]) -> FrontierResult:
+    """Extract the Pareto-optimal subset of ``rows``.
+
+    Every row must carry every objective key with a finite value
+    (non-finite values raise :class:`ValueError` — an ``inf`` joules
+    cell would otherwise silently dominate or be dominated by
+    everything).  Input order is preserved within both the frontier
+    and the dominated list; each dominated point records one witness
+    row that dominates it.
+    """
+    objectives = tuple(objectives)
+    if not objectives:
+        raise ValueError("pareto_frontier needs at least one objective")
+    rows = list(rows)
+    vectors = [_objective_vector(row, objectives) for row in rows]
+    frontier: List[Mapping[str, object]] = []
+    dominated: List[DominatedPoint] = []
+    for i, row in enumerate(rows):
+        witness = None
+        for j, other in enumerate(rows):
+            if i != j and dominates(vectors[j], vectors[i], objectives):
+                witness = other
+                break
+        if witness is None:
+            frontier.append(row)
+        else:
+            dominated.append(DominatedPoint(row=row, by=witness))
+    return FrontierResult(frontier=tuple(frontier),
+                          dominated=tuple(dominated),
+                          objectives=objectives)
+
+
+def _point_label(row: Mapping[str, object],
+                 keys: Sequence[str]) -> str:
+    cells = [k for k in keys if k in row]
+    return ",".join(f"{k}={_render_cell(row[k])}" for k in cells)
+
+
+def frontier_report(result: FrontierResult,
+                    cell_keys: Sequence[str]) -> str:
+    """Render a frontier as a printable table with dominance accounting.
+
+    ``cell_keys`` are the parameter columns identifying a point (axis
+    and variant cells); the frontier table shows them plus every
+    objective, and each dominated point is listed with the frontier
+    point that beats it.
+    """
+    goals = ", ".join(f"{o.key} {o.goal}" for o in result.objectives)
+    columns = [k for k in cell_keys] + [o.key for o in result.objectives]
+    lines = [f"-- Pareto frontier ({goals}) --",
+             format_table([dict(r) for r in result.frontier],
+                          columns=columns)]
+    total = len(result.frontier) + len(result.dominated)
+    lines.append(f"frontier: {len(result.frontier)} of {total} points; "
+                 f"{len(result.dominated)} dominated")
+    if result.dominated:
+        rows = []
+        for point in result.dominated:
+            row = {k: point.row.get(k, "") for k in columns}
+            row["dominated_by"] = _point_label(point.by, cell_keys)
+            rows.append(row)
+        lines.append(format_table(rows, columns=columns + ["dominated_by"]))
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Component marginals / deltas
+# --------------------------------------------------------------------------
+
+def component_deltas(rows: Sequence[Mapping[str, object]],
+                     variant_keys: Sequence[str],
+                     axis_keys: Sequence[str],
+                     metrics: Sequence[Metric]
+                     ) -> List[Dict[str, object]]:
+    """Per-axis-cell deltas of every variant against the baseline.
+
+    Rows are grouped by their axis cells; within each group the *first*
+    row (declaration order — the all-components-on baseline of a
+    default :class:`~repro.study.spec.Toggles`) is the reference, and
+    every other variant's metrics are reported as ``d_<metric>``
+    differences against it.  The marginal effect of toggling a
+    component off is then one row per axis point.
+    """
+    variant_keys = [k for k in variant_keys]
+    groups: Dict[Tuple, List[Mapping[str, object]]] = {}
+    order: List[Tuple] = []
+    for row in rows:
+        key = tuple(row.get(k) for k in axis_keys)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    out: List[Dict[str, object]] = []
+    for key in order:
+        group = groups[key]
+        baseline = group[0]
+        for row in group[1:]:
+            delta: Dict[str, object] = {
+                k: row[k] for k in axis_keys if k in row}
+            for k in variant_keys:
+                if k in row:
+                    delta[k] = row[k]
+            for metric in metrics:
+                column = metric.column
+                if column in row and column in baseline:
+                    delta[f"d_{column}"] = row[column] - baseline[column]
+            out.append(delta)
+    return out
+
+
+def delta_report(rows: Sequence[Mapping[str, object]],
+                 variant_keys: Sequence[str],
+                 axis_keys: Sequence[str],
+                 metrics: Sequence[Metric]) -> str:
+    """Render the component delta table (see :func:`component_deltas`)."""
+    deltas = component_deltas(rows, variant_keys, axis_keys, metrics)
+    header = "-- component deltas vs baseline (first variant) --"
+    if not deltas:
+        return header + "\n(no toggled variants)"
+    return header + "\n" + format_table(deltas)
+
+
+def pivot_report(rows: Sequence[Mapping[str, object]],
+                 pivot: PivotSpec) -> str:
+    """Render a study's declared pivot grid as a titled table."""
+    rows_label = " x ".join(pivot.rows)
+    cols_label = " x ".join(pivot.cols)
+    title = f"-- {pivot.value} by {rows_label} over {cols_label} --"
+    return title + "\n" + pivot_table(rows, pivot.rows, pivot.cols,
+                                      pivot.value)

@@ -1,0 +1,123 @@
+"""Study execution: expand the grid, run it through the cached engine.
+
+:func:`run_study` is the whole pipeline: expand the
+:class:`~repro.study.spec.StudySpec` into its cell cross product,
+submit every ``(cell, seed)`` job as *one* batch to the parallel
+execution engine (:mod:`repro.harness.parallel`) — so worker pools
+stay saturated across cell boundaries and the on-disk result cache
+answers every previously-computed cell, making re-runs compute only
+dirty cells — then fold the per-seed results into one
+:class:`~repro.harness.experiments.ExperimentResult` row per cell.
+
+Analysis (component delta tables, the declared pivot, the Pareto
+frontier) is rendered into ``ExperimentResult.notes`` so the CLI
+prints it below the row table without any per-study code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness import parallel
+from repro.harness.experiments import ExperimentResult
+from repro.harness.runner import MultiSeedResult
+from repro.study import analysis
+from repro.study.spec import StudyCell, StudySpec, Toggles, expand
+
+__all__ = ["StudyResult", "run_study"]
+
+
+@dataclass
+class StudyResult:
+    """A fully executed study: per-seed results folded into rows.
+
+    ``experiment`` is the flat row table (identical in shape to what a
+    hand-written experiment function returns — the declaration-
+    equivalence suite asserts ``==`` against the frozen originals);
+    ``per_cell`` keeps the underlying
+    :class:`~repro.harness.runner.MultiSeedResult` of every cell for
+    ad-hoc analysis beyond the declared metrics.
+    """
+
+    spec: StudySpec
+    cells: Tuple[StudyCell, ...]
+    per_cell: List[MultiSeedResult]
+    experiment: ExperimentResult
+
+    def frontier(self) -> analysis.FrontierResult:
+        """Pareto extraction over the spec's declared objectives."""
+        if not self.spec.objectives:
+            raise ValueError(
+                f"study {self.spec.study_id!r} declares no objectives")
+        return analysis.pareto_frontier(self.experiment.rows,
+                                        self.spec.objectives)
+
+
+def _metric_value(spec: StudySpec, multi: MultiSeedResult,
+                  row: Dict[str, object]) -> None:
+    summary = multi.summary()
+    for metric in spec.metrics:
+        if metric.derive is not None:
+            row[metric.column] = metric.derive(multi)
+            continue
+        key = metric.key or metric.column
+        if key not in summary:
+            raise KeyError(
+                f"study {spec.study_id!r}: metric key {key!r} not in "
+                f"the scenario summary; known keys: {sorted(summary)} "
+                f"(energy/fault metrics appear only when the base "
+                f"config is instrumented)")
+        agg = summary[key]
+        row[metric.column] = agg.mean
+        if metric.std:
+            row[metric.column + "_std"] = agg.std
+
+
+def _notes(spec: StudySpec, rows: List[Dict[str, object]]) -> List[str]:
+    notes: List[str] = []
+    if spec.pivot is not None:
+        notes.append(analysis.pivot_report(rows, spec.pivot))
+    if any(isinstance(dim, Toggles) for dim in spec.grid):
+        notes.append(analysis.delta_report(rows, spec.variant_keys(),
+                                           spec.axis_keys(), spec.metrics))
+    if spec.objectives:
+        result = analysis.pareto_frontier(rows, spec.objectives)
+        cell_keys = list(spec.axis_keys()) + list(spec.variant_keys())
+        notes.append(analysis.frontier_report(result, cell_keys))
+    return notes
+
+
+def run_study(spec: StudySpec,
+              runner: Optional[parallel.ParallelRunner] = None
+              ) -> StudyResult:
+    """Execute a study spec end to end and fold it into rows.
+
+    All ``len(cells) * len(seeds)`` scenario jobs are submitted as one
+    ordered batch through ``runner`` (default: the process-wide engine,
+    so the CLI's ``--jobs``/cache flags apply transparently).  Results
+    are bit-identical to running each cell through
+    :func:`~repro.harness.parallel.run_seeds` in a nested loop — the
+    batching only changes scheduling, never values or row order.
+    """
+    runner = runner or parallel.get_default_runner()
+    cells = expand(spec)
+    seeds = spec.seeds
+    configs = [cell.config.with_changes(seed=seed)
+               for cell in cells for seed in seeds]
+    results = runner.run_configs(configs)
+    per_cell: List[MultiSeedResult] = []
+    rows: List[Dict[str, object]] = []
+    for i, cell in enumerate(cells):
+        chunk = results[i * len(seeds):(i + 1) * len(seeds)]
+        multi = MultiSeedResult(results=list(chunk))
+        per_cell.append(multi)
+        row: Dict[str, object] = dict(cell.cells)
+        _metric_value(spec, multi, row)
+        rows.append(row)
+    experiment = ExperimentResult(
+        experiment_id=spec.study_id, title=spec.title,
+        parameters=dict(spec.parameters), rows=rows,
+        notes=_notes(spec, rows))
+    return StudyResult(spec=spec, cells=cells, per_cell=per_cell,
+                       experiment=experiment)

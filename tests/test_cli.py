@@ -54,6 +54,32 @@ class TestMain:
             rows = list(csv.DictReader(f))
         assert len(rows) == 3          # TINY sweeps 1/3/5 s bounds
 
+    def test_study_lists_registered_declarations(self, capsys):
+        assert main(["study"]) == 0
+        out = capsys.readouterr().out
+        for study_id in ("abl-gc", "abl-dutycycle", "study-frontier"):
+            assert study_id in out
+        assert main(["study", "--list"]) == 0
+        assert "study-frontier" in capsys.readouterr().out
+
+    def test_study_unknown_id_fails(self, capsys):
+        assert main(["study", "--run", "abl-typo"]) == 2
+        assert "unknown study" in capsys.readouterr().err
+
+    def test_study_run_prints_notes(self, capsys, monkeypatch):
+        # Route the registered entry to a tiny-scale run so the test
+        # stays fast; the study path reuses the ALL_EXPERIMENTS flow.
+        from repro.harness import cli
+        from repro.harness.experiments import ALL_EXPERIMENTS
+        from tests.test_experiments import TINY
+        real = ALL_EXPERIMENTS["abl-ids"]
+        monkeypatch.setitem(cli.ALL_EXPERIMENTS, "abl-ids",
+                            lambda scale: real(TINY))
+        assert main(["study", "--run", "abl-ids"]) == 0
+        out = capsys.readouterr().out
+        assert "abl-ids" in out
+        assert "component deltas" in out
+
     def test_seed_flag_rebases_the_seed_list(self, capsys, monkeypatch):
         """--seed must reach the experiment as the scale's seed_base, so
         every run_seeds() call starts from the requested seed."""

@@ -23,7 +23,8 @@ import pytest
 DOCUMENTED_PACKAGES = ("repro.sim", "repro.sim.shard", "repro.net",
                        "repro.harness", "repro.faults", "repro.core.stack",
                        "repro.core.registry", "repro.baselines.gossip",
-                       "repro.baselines.reference", "repro.rt")
+                       "repro.baselines.reference", "repro.rt",
+                       "repro.study")
 
 
 def _iter_modules(package_name: str) -> Iterator[object]:

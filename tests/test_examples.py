@@ -64,6 +64,20 @@ class TestExamplesRun:
         flood_alive = int(tail.split("flooding:")[1].split(")")[0].strip())
         assert frugal_alive > flood_alive
 
+    def test_custom_study(self, capsys):
+        load_example("custom_study").main(seed=7)
+        out = capsys.readouterr().out
+        assert "Study 'popularity-x-ids'" in out
+        # Every declared analysis note must have been attached/printed.
+        assert "-- reliability by variant over interest --" in out
+        assert "component deltas vs baseline" in out
+        assert "-- Pareto frontier (reliability max, duplicates min) --" \
+            in out
+        # The closing claim parses back against the frontier accounting.
+        tail = out.rsplit("settings are Pareto-optimal", 1)[0]
+        frontier_n = int(tail.rsplit("\n", 1)[1].split("of")[0].strip())
+        assert 1 <= frontier_n <= 4
+
     @pytest.mark.slow
     def test_custom_protocol(self, capsys):
         load_example("custom_protocol").main(seed=1)

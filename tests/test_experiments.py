@@ -203,5 +203,5 @@ class TestRegistry:
             "abl-gc", "abl-backoff", "abl-adaptive-hb", "abl-ids",
             "abl-dutycycle", "abl-outage", "related-work",
             "energy-lifetime", "churn-resilience", "protocol-matrix",
-            "loopback-bridge", "city-scale"}
+            "loopback-bridge", "city-scale", "study-frontier"}
         assert set(ALL_EXPERIMENTS) == expected

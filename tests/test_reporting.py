@@ -8,7 +8,7 @@ import pytest
 
 from repro.harness.experiments import ExperimentResult
 from repro.harness.reporting import (format_experiment, format_table,
-                                     reliability_grid, to_csv)
+                                     pivot_table, reliability_grid, to_csv)
 
 
 def sample_result() -> ExperimentResult:
@@ -94,6 +94,52 @@ class TestReliabilityGrid:
         assert len(text.splitlines()) == 3
 
 
+class TestPivotTable:
+    """The multi-key pivot every grid rendering now routes through."""
+
+    def test_single_key_byte_identical_to_historical_grid(self):
+        # Golden output of the pre-generalisation reliability_grid
+        # implementation: the single-key path must never drift.
+        expected = ("speed | validity=30 | validity=90\n"
+                    "------+-------------+------------\n"
+                    "    5 |        0.61 |        0.92\n"
+                    "   10 |        0.74 |        0.97")
+        rows = [r for r in sample_result().rows]
+        assert pivot_table(rows, "speed", "validity",
+                           "reliability") == expected
+        assert reliability_grid(sample_result(), row_key="speed",
+                                col_key="validity") == expected
+
+    def test_multi_key_rows_and_cols(self):
+        rows = [{"p": p, "duty": d, "churn": c, "rel": 0.5}
+                for p in ("a", "b") for d in (1.0, 0.5) for c in (0.0, 2.0)]
+        text = pivot_table(rows, ("p", "duty"), ("churn",), "rel")
+        lines = text.splitlines()
+        # One label column per row key, one line per (p, duty) combo.
+        assert lines[0].startswith("p | duty")
+        assert len(lines) == 2 + 4
+        assert "churn=0" in lines[0] and "churn=2" in lines[0]
+
+    def test_multi_key_col_labels_join_keys(self):
+        rows = [{"p": "a", "duty": d, "churn": c, "rel": 0.5}
+                for d in (1.0, 0.5) for c in (0.0, 2.0)]
+        text = pivot_table(rows, "p", ("duty", "churn"), "rel")
+        assert "duty=0.5,churn=0" in text.splitlines()[0]
+
+    def test_missing_combination_renders_nan(self):
+        rows = [{"r": 1, "c": 1, "v": 0.5}, {"r": 2, "c": 2, "v": 0.7}]
+        text = pivot_table(rows, "r", "c", "v")
+        assert "nan" in text
+
+    def test_unknown_key_raises_with_known_columns(self):
+        rows = [{"r": 1, "c": 1, "v": 0.5}]
+        with pytest.raises(KeyError, match="known columns"):
+            pivot_table(rows, "r", "c", "reliabilty")
+
+    def test_empty_rows(self):
+        assert pivot_table([], "r", "c", "v") == "(no rows)"
+
+
 class TestExperimentPivot:
     def test_protocol_matrix_gets_a_pivot(self):
         from repro.harness.experiments import ExperimentResult
@@ -108,6 +154,24 @@ class TestExperimentPivot:
         assert text is not None
         assert "churn_reliability by protocol" in text
         assert "frugal" in text and "gossip" in text
+
+    def test_protocol_matrix_rendering_byte_identical(self):
+        """Golden output from before pivot generalisation: the
+        registered protocol-matrix pivot must render unchanged."""
+        from repro.harness.experiments import ExperimentResult
+        from repro.harness.reporting import experiment_pivot
+        result = ExperimentResult(
+            experiment_id="protocol-matrix", title="t", parameters={},
+            rows=[{"protocol": "frugal", "churn_per_min": 0.0,
+                   "churn_reliability": 1.0},
+                  {"protocol": "gossip", "churn_per_min": 0.0,
+                   "churn_reliability": 0.9}])
+        assert experiment_pivot(result) == (
+            "-- churn_reliability by protocol --\n"
+            "protocol | churn_per_min=0\n"
+            "---------+----------------\n"
+            "  frugal |               1\n"
+            "  gossip |             0.9")
 
     def test_unregistered_experiment_has_none(self):
         from repro.harness.experiments import ExperimentResult
