@@ -27,6 +27,15 @@ import sys
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
+#: Per-bench row requirements beyond mere existence: ``bench_shard``
+#: entries must carry the per-barrier overhead breakdown rows (the
+#: drain / merge / ingest / retime split of the barrier tax), so the
+#: trajectory can answer *where* a regression came from, not just that
+#: one happened.
+REQUIRED_ROW_KEYS = {
+    "bench_shard": ("drain_s", "merge_s", "ingest_s", "retime_s"),
+}
+
 
 def current_rev() -> str:
     """The short revision the trajectory entry must be keyed by."""
@@ -64,6 +73,13 @@ def check(name: str, rev: str) -> str | None:
                 f"appending, or REPRO_GIT_REV disagreed")
     if not entry.get("rows"):
         return f"{name}: rev {rev} entry has no rows"
+    required = REQUIRED_ROW_KEYS.get(name)
+    if required and not any(
+            all(key in row for key in required)
+            for row in entry["rows"] if isinstance(row, dict)):
+        return (f"{name}: rev {rev} entry has no row carrying the "
+                f"required keys {list(required)} — the per-barrier "
+                f"overhead breakdown was not recorded")
     return None
 
 

@@ -32,6 +32,7 @@ from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.harness.presets import get_scale
 from repro.harness.reporting import (experiment_pivot, format_engine_stats,
                                      format_experiment, to_csv)
+from repro.sim.shard import ShardConfig
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,10 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-base the deterministic seed set on this first seed "
              "(default: the scale's seed_base, 0)")
     parser.add_argument(
-        "--shards", type=int, default=0,
-        help="run every scenario on the sharded engine with this many "
-             "spatial shards (default 0 = classic single-world engine; "
-             "sharded results are bit-identical for every K >= 1)")
+        "--shards", default="0", metavar="K|RxC",
+        help="run every scenario on the sharded engine: a shard count "
+             "('4' = vertical stripes) or an RxC tile grid ('2x2'); "
+             "default 0 = classic single-world engine.  Sharded results "
+             "are bit-identical for every shard count and tile shape")
+    parser.add_argument(
+        "--epoch", default=None, metavar="SECONDS|auto",
+        help="barrier spacing for the sharded engine (default auto; any "
+             "value in (0, latency] yields bit-identical results, so "
+             "this is purely a wall-clock knob)")
     parser.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes for multi-seed sweeps (default: REPRO_JOBS "
@@ -140,11 +147,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"unknown study {args.run!r}; try 'study --list'",
                   file=sys.stderr)
             return 2
-    if args.shards < 0:
-        print(f"--shards must be >= 0, got {args.shards}", file=sys.stderr)
+    try:
+        epoch = (None if args.epoch in (None, "auto")
+                 else float(args.epoch))
+        shard_config = ShardConfig.parse(args.shards, epoch=epoch)
+    except ValueError as exc:
+        print(f"bad --shards/--epoch: {exc}", file=sys.stderr)
         return 2
     configure_engine(args.jobs, args.no_cache, args.cache_dir)
-    experiments.DEFAULT_SHARDS = args.shards
+    experiments.DEFAULT_SHARDS = shard_config
     try:
         if args.experiment == "all":
             out_dir = pathlib.Path(args.out_dir or "results")

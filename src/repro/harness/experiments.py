@@ -29,19 +29,26 @@ from repro.harness.scenario import (CityGridSpec, CitySectionSpec,
                                     ScenarioConfig, StationarySpec)
 from repro.net import MediumConfig, RadioConfig
 
-#: Shard count applied to every scenario the experiment builders emit.
-#: 0 keeps the classic single-world engine; the CLI's ``--shards K``
-#: flag rebinds this for the duration of one invocation so any figure
-#: can run on the sharded engine (bit-identical across shard counts by
-#: construction — see ``repro.sim.shard``).
+#: Shard plan applied to every scenario the experiment builders emit —
+#: a plain count or a full :class:`~repro.sim.shard.ShardConfig`.
+#: 0 keeps the classic single-world engine; the CLI's ``--shards`` /
+#: ``--epoch`` flags rebind this for the duration of one invocation so
+#: any figure can run on the sharded engine (bit-identical across shard
+#: counts, tile shapes and epoch lengths — see ``repro.sim.shard``).
 DEFAULT_SHARDS = 0
 
 
 def _apply_shards(config: ScenarioConfig) -> ScenarioConfig:
-    """Stamp the module-wide shard count onto a built scenario."""
+    """Stamp the module-wide shard plan onto a built scenario."""
     if not DEFAULT_SHARDS:
         return config
     return config.with_changes(shards=DEFAULT_SHARDS)
+
+
+def _shards_label() -> str:
+    """A printable tag for the active shard plan (``off`` / ``1x4``)."""
+    from repro.sim.shard import ShardConfig
+    return ShardConfig.coerce(DEFAULT_SHARDS).plan_label
 
 
 @dataclass
@@ -764,7 +771,7 @@ def city_scale(scale: Optional[Scale] = None) -> ExperimentResult:
               "one world per population",
         parameters={"scale": scale.name, "populations": populations,
                     "density_km2": round(CITY_SCALE_DENSITY_KM2, 2),
-                    "shards": DEFAULT_SHARDS})
+                    "shards": _shards_label()})
     for n in populations:
         cfg = city_scale_scenario(scale, n)
         multi = run_seeds(cfg, scale.seed_list())

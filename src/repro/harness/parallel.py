@@ -54,16 +54,41 @@ from repro.harness.scenario import (ScenarioConfig, ScenarioResult,
 JOBS_ENV = "REPRO_JOBS"
 
 
+def available_cpu_count() -> int:
+    """CPUs this *process* may actually run on (container-aware).
+
+    ``os.cpu_count()`` reports the machine, which overcounts inside a
+    cgroup CPU limit or a restricted affinity mask — and overcounting
+    makes the auto backends (worker pools, the shard spawn/inproc
+    choice) oversubscribe.  Prefer the scheduler affinity mask, then
+    ``os.process_cpu_count()`` where it exists (3.13+), then fall back
+    to the machine count.  Benchmarks record this value in their meta
+    so trajectory entries are comparable across hosts.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:   # pragma: no cover - non-Linux affinity quirk
+            pass
+    process_count = getattr(os, "process_cpu_count", None)
+    if process_count is not None:   # pragma: no cover - 3.13+
+        return process_count() or 1
+    return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: Optional[int] = None, default: int = 1) -> int:
     """Normalise a worker count: ``None`` reads ``$REPRO_JOBS`` (falling
-    back to ``default``), and ``0`` means "all CPUs".  The single home of
-    that rule — the CLI and the benchmark suite both resolve through it.
+    back to ``default``), and ``0`` means "all *available* CPUs"
+    (container-aware: see :func:`available_cpu_count`).  The single home
+    of that rule — the CLI and the benchmark suite both resolve through
+    it.
     """
     if jobs is None:
         raw = os.environ.get(JOBS_ENV)
         jobs = default if raw is None else int(raw)
     if jobs == 0:
-        return os.cpu_count() or 1
+        return available_cpu_count()
     return jobs
 
 

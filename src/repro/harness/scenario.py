@@ -46,6 +46,10 @@ from repro.mobility import (CitySection, MobilityModel, RandomWaypoint,
 from repro.net import (MediumConfig, Node, RadioConfig, SizeModel,
                        WirelessMedium)
 from repro.sim import RngRegistry, Simulator, TimerWheel
+# Only the shard *config* (a plain dataclass); the engine itself stays
+# a lazy import inside run_scenario so the classic path never pays for
+# it (repro.sim.shard loads its engine module lazily for this reason).
+from repro.sim.shard import ShardConfig
 from repro.sim.space import Vec2
 
 def known_protocols(include_hidden: bool = False) -> Tuple[str, ...]:
@@ -64,6 +68,18 @@ class MobilitySpec(abc.ABC):
     @abc.abstractmethod
     def build(self, index: int) -> MobilityModel:
         """Instantiate the mobility model for process ``index``."""
+
+    def max_speed_mps(self) -> Optional[float]:
+        """An upper bound on any process's speed, m/s — or ``None``
+        when the spec cannot bound it.
+
+        The sharded engine's geometric prunes (audibility routing, the
+        resident-bbox delivery prefilter) inflate their reach by
+        ``max_speed * dt`` drift margins; a spec that answers ``None``
+        simply disarms those prunes, which stays correct (everything
+        ships/resolves) at some wall-clock cost.
+        """
+        return None
 
 
 @dataclass(frozen=True)
@@ -84,6 +100,11 @@ class RandomWaypointSpec(MobilitySpec):
                               self.speed_min, self.speed_max,
                               pause_time=self.pause_time)
 
+    def max_speed_mps(self) -> float:
+        """Waypoint legs never exceed ``speed_max`` (0 m/s builds
+        stationary models)."""
+        return max(self.speed_max, 0.0)
+
 
 @dataclass(frozen=True)
 class CitySectionSpec(MobilitySpec):
@@ -103,6 +124,16 @@ class CitySectionSpec(MobilitySpec):
     def street_map(self) -> StreetMap:
         """The (cached) synthetic campus street map for ``map_seed``."""
         return _campus_map_cached(self.map_seed)
+
+    def max_speed_mps(self) -> float:
+        """Street travel is capped by the fastest road's speed limit."""
+        return _map_speed_cap(self.street_map())
+
+
+def _map_speed_cap(street_map: StreetMap) -> float:
+    """The fastest speed limit on a street map, m/s."""
+    return max(data["speed_limit"]
+               for _, _, data in street_map.graph.edges(data=True))
 
 
 def _campus_map_cached(seed: int) -> StreetMap:
@@ -157,6 +188,10 @@ class CityGridSpec(MobilitySpec):
             _GRID_MAP_CACHE[key] = cached
         return cached
 
+    def max_speed_mps(self) -> float:
+        """Street travel is capped by the fastest road's speed limit."""
+        return _map_speed_cap(self.street_map())
+
 
 _GRID_MAP_CACHE: Dict[Tuple[int, int, float, float, int], StreetMap] = {}
 
@@ -171,6 +206,10 @@ class StationarySpec(MobilitySpec):
     def build(self, index: int) -> MobilityModel:
         """Fixed-random-position model for one process."""
         return Stationary(width=self.width, height=self.height)
+
+    def max_speed_mps(self) -> float:
+        """Stationary processes never move."""
+        return 0.0
 
 
 @dataclass(frozen=True)
@@ -194,6 +233,10 @@ class FixedPositionsSpec(MobilitySpec):
         """Fixed-position model for one process."""
         x, y = self.positions[index % len(self.positions)]
         return Stationary(position=Vec2(x, y))
+
+    def max_speed_mps(self) -> float:
+        """Pinned processes never move."""
+        return 0.0
 
 
 # --------------------------------------------------------------------------
@@ -254,17 +297,20 @@ class ScenarioConfig:
     #: timer wheel (identical firing times and tie-order, fewer kernel
     #: events); ``False`` arms one kernel timer per periodic task.
     coalesced_timers: bool = True
-    #: Split the world into this many spatial shards run by the
-    #: epoch-barrier engine of :mod:`repro.sim.shard` (summaries are
-    #: invariant in the shard count).  ``0`` — the default — keeps the
+    #: Sharded execution: either a plain shard count ``K`` (coerced to
+    #: a stripe-plan :class:`~repro.sim.shard.ShardConfig`) or a full
+    #: ``ShardConfig`` choosing the tile grid, epoch length and
+    #: latency.  Summaries are invariant in the shard count, tile shape
+    #: and (sound) epoch length.  ``0`` — the default — keeps the
     #: classic single-world engine.
-    shards: int = 0
+    shards: "ShardConfig" = 0  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.n_processes < 1:
             raise ValueError("n_processes must be >= 1")
-        if self.shards < 0:
-            raise ValueError(f"shards must be >= 0: {self.shards}")
+        # Accept historical plain-int shard counts everywhere a
+        # ShardConfig is (validation lives in ShardConfig itself).
+        object.__setattr__(self, "shards", ShardConfig.coerce(self.shards))
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.warmup < 0:
@@ -367,6 +413,13 @@ class ScenarioResult:
     wallclock_s: float
     energy: Optional[EnergyAccountant] = None
     faults: Optional[FaultTimeline] = None
+    #: Sharded runs only: wall-clock seconds spent in each barrier
+    #: phase (``drain`` / ``merge`` / ``ingest`` / ``retime``), plus
+    #: ``barriers`` (count) and ``frames_exchanged`` — the measured
+    #: barrier tax ``benchmarks/bench_shard.py`` publishes.  ``None``
+    #: for classic runs; excluded from equality (timings are noise).
+    barrier_stats: Optional[Dict[str, float]] = field(default=None,
+                                                      compare=False)
 
     # -- reliability -------------------------------------------------------------
 

@@ -37,6 +37,12 @@ class StreetMap:
     name: str = "street-map"
     _route_cache: Dict[Tuple[int, int], List[int]] = field(
         default_factory=dict, repr=False)
+    # Lazy caches over the (immutable after __post_init__) graph: the
+    # destination draw runs on every mobility leg of every node, and
+    # networkx attribute views are far too slow for that hot path.
+    _weights_cache: Dict[int, float] = field(
+        default_factory=dict, repr=False)
+    _nodes_cache: List[int] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.graph.number_of_nodes() == 0:
@@ -59,7 +65,10 @@ class StreetMap:
     # -- queries -------------------------------------------------------------
 
     def intersections(self) -> List[int]:
-        return sorted(self.graph.nodes)
+        """The sorted intersection ids (cached — do not mutate)."""
+        if not self._nodes_cache:
+            self._nodes_cache = sorted(self.graph.nodes)
+        return self._nodes_cache
 
     def position_of(self, node_id: int) -> Vec2:
         return self.graph.nodes[node_id]["pos"]
@@ -68,13 +77,15 @@ class StreetMap:
         return self.graph.edges[u, v]["speed_limit"]
 
     def popularity_weights(self) -> Dict[int, float]:
-        """Node attractiveness = total popularity of incident roads."""
-        weights: Dict[int, float] = {}
-        for node in self.graph.nodes:
-            weights[node] = sum(
-                self.graph.edges[node, nbr]["popularity"]
-                for nbr in self.graph.neighbors(node))
-        return weights
+        """Node attractiveness = total popularity of incident roads
+        (cached — the graph is immutable after construction)."""
+        if not self._weights_cache:
+            weights = self._weights_cache
+            for node in self.graph.nodes:
+                weights[node] = sum(
+                    self.graph.edges[node, nbr]["popularity"]
+                    for nbr in self.graph.neighbors(node))
+        return self._weights_cache
 
     def choose_destination(self, rng: random.Random, exclude: int) -> int:
         """Draw a destination intersection, weighted by attractiveness."""

@@ -338,9 +338,11 @@ class WirelessMedium:
         # Shard-ingress hook: when set, a freshly assembled frame is
         # handed to the sharded-execution layer instead of being
         # resolved locally — the shard engine commits it at the next
-        # epoch barrier and mirrors it into every shard whose nodes
-        # could hear it (see repro.sim.shard).  Like ``extra_loss``
-        # above, ``None`` (the default) adds zero work to the path.
+        # epoch barrier, routes it to every shard whose residents could
+        # hear it, and retimes its delivery to the exact instant
+        # ``end + latency`` inside the receiving shards' kernels (see
+        # repro.sim.shard).  Like ``extra_loss`` above, ``None`` (the
+        # default) adds zero work to the path.
         self.shard_ingress: Optional[Callable[[Transmission], None]] = None
         self.frames_sent = 0
         self.frames_delivered = 0

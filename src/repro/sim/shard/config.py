@@ -1,0 +1,166 @@
+"""Sharded-execution configuration: tile shape, epoch length, latency.
+
+:class:`ShardConfig` is the value of ``ScenarioConfig.shards``.  For
+backward compatibility a plain integer ``K`` is accepted everywhere a
+:class:`ShardConfig` is (``ScenarioConfig.__post_init__`` coerces it to
+``ShardConfig(shards=K)``), so ``config.with_changes(shards=4)`` keeps
+meaning "four vertical stripes".
+
+The three knobs
+---------------
+* ``shards`` / ``rows`` — the tile grid.  ``shards=K`` total tiles,
+  arranged as ``rows`` full-width bands of ``K // rows`` columns each
+  (``rows=1``, the default, is the classic vertical-stripe plan; a
+  ``2x2`` plan is ``shards=4, rows=2``).  The partition itself lives in
+  :class:`~repro.sim.shard.partition.ShardPlan`.
+* ``latency_s`` — the *semantic* knob: every cross-node frame is
+  delivered (and occupies the channel, as heard by everyone but its
+  sender) exactly ``latency_s`` seconds after the classic engine would
+  deliver it.  This constant air-to-delivery latency is what makes the
+  epoch length unobservable: a frame sent at ``s`` is committed at the
+  first barrier after ``s`` — no later than ``s + epoch`` — and first
+  *used* at ``s + latency_s``, so any ``epoch <= latency_s`` commits
+  every frame before any shard can observe it.  The default of 1 s sits
+  at the protocol stack's heartbeat cadence: one epoch of traffic is
+  about one heartbeat round.
+* ``epoch_s`` — the *performance* knob: barrier spacing.  Any value in
+  ``(0, latency_s]`` produces bit-identical results (asserted by
+  ``tests/test_shard.py``), so ``"auto"`` — the default — simply picks
+  the cheapest sound value via :func:`resolve_epoch_s`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+#: Historical barrier spacing (PR 8), kept as the explicit-epoch example
+#: value and the :func:`~repro.sim.shard.engine.compute_barriers`
+#: default.  Binary-exact, so every shard computes bit-equal barriers.
+DEFAULT_EPOCH_S = 0.25
+
+#: Default cross-node delivery latency, seconds — see the module
+#: docstring for why 1 s (one heartbeat round) is the reference point.
+DEFAULT_LATENCY_S = 1.0
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """How (and whether) a scenario runs on the sharded engine.
+
+    Attributes
+    ----------
+    shards:
+        Total tile count ``K``; ``0`` (falsy) keeps the classic
+        single-world engine.
+    rows:
+        Tile-grid rows ``R`` (must divide ``shards``); ``1`` gives the
+        classic vertical stripes, ``R>1`` an ``R x (K/R)`` grid.
+    epoch_s:
+        Barrier spacing in seconds, or ``"auto"`` to derive it from the
+        scenario via :func:`resolve_epoch_s`.  Explicit values must lie
+        in ``(0, latency_s]`` — the soundness bound of the retimed
+        exchange — and should be binary-exact so barrier instants are.
+    latency_s:
+        The constant cross-node delivery latency of the sharded
+        universe, seconds (> 0).
+    """
+
+    shards: int = 0
+    rows: int = 1
+    epoch_s: Union[float, str] = "auto"
+    latency_s: float = DEFAULT_LATENCY_S
+
+    def __post_init__(self) -> None:
+        if self.shards < 0:
+            raise ValueError(f"shards must be >= 0: {self.shards}")
+        if self.rows < 1:
+            raise ValueError(f"rows must be >= 1: {self.rows}")
+        if self.shards and self.shards % self.rows:
+            raise ValueError(
+                f"rows must divide the shard count: "
+                f"{self.shards} % {self.rows} != 0")
+        if self.latency_s <= 0 or not math.isfinite(self.latency_s):
+            raise ValueError(
+                f"latency_s must be positive and finite: {self.latency_s}")
+        if isinstance(self.epoch_s, str):
+            if self.epoch_s != "auto":
+                raise ValueError(
+                    f"epoch_s must be a float or 'auto': {self.epoch_s!r}")
+        elif not 0.0 < self.epoch_s <= self.latency_s:
+            raise ValueError(
+                f"epoch_s must lie in (0, latency_s={self.latency_s}]: "
+                f"{self.epoch_s} (longer epochs would let a frame be "
+                f"used before the barrier that commits it)")
+
+    def __bool__(self) -> bool:
+        """Truthy iff the sharded engine is enabled — keeps the
+        historical ``if config.shards:`` dispatch working."""
+        return self.shards > 0
+
+    @property
+    def cols(self) -> int:
+        """Tile-grid columns ``C = K // R`` (0 when disabled)."""
+        return self.shards // self.rows if self.shards else 0
+
+    @property
+    def plan_label(self) -> str:
+        """The ``RxC`` shape tag benches and metadata stamp per row."""
+        return f"{self.rows}x{self.cols}" if self.shards else "off"
+
+    @classmethod
+    def coerce(cls, value: Union[int, "ShardConfig"]) -> "ShardConfig":
+        """Normalise a ``ScenarioConfig.shards`` value: ints become
+        stripe plans, existing configs pass through."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(
+                f"shards must be an int or ShardConfig: {value!r}")
+        return cls(shards=value)
+
+    @classmethod
+    def parse(cls, text: str, epoch: Union[float, str, None] = None
+              ) -> "ShardConfig":
+        """Parse a CLI shard spec: ``"4"`` (stripes) or ``"2x2"`` (an
+        ``RxC`` tile grid); ``epoch`` (``--epoch``) rides along."""
+        raw = text.strip().lower()
+        try:
+            if "x" in raw:
+                rows_s, cols_s = raw.split("x", 1)
+                rows, cols = int(rows_s), int(cols_s)
+                if rows < 1 or cols < 1:
+                    raise ValueError
+                parsed = cls(shards=rows * cols, rows=rows)
+            else:
+                parsed = cls(shards=int(raw))
+        except ValueError:
+            raise ValueError(
+                f"shard spec must be an integer K or RxC grid "
+                f"(e.g. '4' or '2x2'): {text!r}") from None
+        if epoch is None:
+            return parsed
+        return ShardConfig(shards=parsed.shards, rows=parsed.rows,
+                           epoch_s=epoch)
+
+
+def resolve_epoch_s(shards: ShardConfig, duration: float,
+                    warmup: float) -> float:
+    """The barrier spacing one run actually uses, seconds.
+
+    Explicit ``epoch_s`` values are returned verbatim.  ``"auto"``
+    picks the largest power of two no longer than the soundness bound
+    ``latency_s`` and no longer than half the run, so short scenarios
+    still cross a couple of barriers.  Powers of two are binary-exact,
+    hence every shard — and the cache key, which hashes the *config*,
+    not this derived value — computes bit-equal barrier instants; and
+    because any sound epoch yields bit-identical results (the retimed
+    exchange, see :mod:`repro.sim.shard.engine`), auto-tuning is purely
+    a wall-clock optimisation: fewer barriers, less drain/merge/ingest
+    overhead per simulated second.
+    """
+    if shards.epoch_s != "auto":
+        return float(shards.epoch_s)
+    bound = min(shards.latency_s, max((warmup + duration) / 2.0, 2 ** -6))
+    return 2.0 ** math.floor(math.log2(bound))

@@ -1,53 +1,107 @@
 """Sharded-world execution: one logical world, K cooperating shards.
 
 ``run_sharded_scenario`` runs the scenario described by a
-:class:`~repro.harness.scenario.ScenarioConfig` with ``shards=K`` as K
-spatially partitioned sub-worlds that exchange radio traffic at fixed
-**epoch barriers**, and merges the per-shard measurements into one
-:class:`~repro.harness.scenario.ScenarioResult`.  The defining property
-— asserted by ``tests/test_shard.py`` — is *shard-count invariance*:
-summaries for ``shards=1``, ``2`` and ``4`` are bit-identical.
+:class:`~repro.harness.scenario.ScenarioConfig` with ``shards=K`` (or a
+full :class:`~repro.sim.shard.config.ShardConfig`) as K spatially
+partitioned sub-worlds that exchange radio traffic at **epoch
+barriers**, and merges the per-shard measurements into one
+:class:`~repro.harness.scenario.ScenarioResult`.  The defining
+properties — asserted by ``tests/test_shard.py`` — are
+
+* **shard-count invariance**: summaries for ``shards=1``, ``2`` and
+  ``4`` are bit-identical;
+* **tile-shape invariance**: a ``4x1``, ``2x2`` and ``1x4`` plan of the
+  same K agree bit for bit;
+* **epoch-length invariance**: any barrier spacing in
+  ``(0, latency_s]`` yields bit-identical results, which is what makes
+  ``epoch_s="auto"`` a pure wall-clock knob.
+
+The retimed universe
+--------------------
+The sharded engine models a constant cross-node delivery latency
+``L = latency_s`` (default 1 s): a frame transmitted over
+``[s, e = s + airtime)`` occupies the channel **as heard by every node
+but its sender** over ``(s + L, e + L)``, and is delivered — verdicts,
+loss draws, protocol reactions — at the exact instant ``e + L``, as a
+real kernel event inside whichever epoch contains it.  The sender's own
+half-duplex busy window stays unshifted (it hears itself in real time).
+
+This is what buys epoch-invariance.  A frame sent at ``s`` is
+*committed* (drained, merged, ingested everywhere) at the first barrier
+``>= s``, which is at most ``s + epoch`` — while its earliest possible
+observable effect is at times ``> s + L``.  With ``epoch <= L``
+(enforced by :class:`~repro.sim.shard.config.ShardConfig`), commitment
+therefore always precedes first use — the conservative-PDES lookahead
+bound — and every observable becomes a pure function of frame
+timestamps and per-node RNG streams, independent of where the barriers
+fall.  Extra barriers (the warm-up boundary, the end instant) only
+subdivide epochs, which cannot reorder anything.  The one caveat: an
+*exact float tie* between a delivery instant ``e + L`` and an unrelated
+local event falls back to kernel scheduling order, which is
+epoch-dependent; delivery instants carry airtime fractions
+(sub-millisecond, non-round floats), so such ties do not occur in
+practice and none has been observed across the test matrix.
 
 How it works
 ------------
-* **Ownership** — every node is assigned to the shard whose stripe
+* **Ownership** — every node is assigned to the shard whose tile
   contains its *initial* position (:func:`compute_ownership` replays the
   mobility prefix of each node's ``("node", i)`` stream in a throwaway
   world, which is exact: ``Node.start`` starts mobility before the
-  protocol ever draws).  Each shard builds only its resident nodes; all
-  shards derive every shared draw (subscriber selection, fault targets,
-  churn membership) from identical ``RngRegistry(seed)`` streams.
+  protocol ever draws).  The plan spans the initial population's extent
+  with the medium's grid-cell geometry (``range + anchor slack``) as an
+  ``rows x cols`` grid of whole cells — ``rows=1`` is the classic
+  vertical-stripe plan.
 * **Slotted medium** — inside a shard, frames transmitted during an
   epoch are *invisible* until the next barrier (:class:`ShardMedium`
   diverts them through the medium's ``shard_ingress`` hook into an
   outbox).  At each barrier the driver gathers every shard's outbox,
   sorts the union into the canonical ``(start, sender id, per-sender
-  seq)`` order, and hands the identical committed batch back to every
-  shard — the frame exchange that "mirrors a border node's
-  transmissions into the neighbouring shard's medium", degenerating to
-  a plain commit log when K = 1.
+  seq)`` order, and routes the committed batch by **audibility**: a
+  frame ships to a shard only if the shard's resident bounding region,
+  measured at the barrier and inflated by the worst-case drift
+  ``v_max * (2 * horizon + L)``, lies within the frame's radio reach —
+  a frame pruned here is provably inaudible to every resident at every
+  relevant instant, so dropping it is observably a no-op for any K.
+  Mobility specs that cannot bound ``v_max`` disarm the prune (ship
+  everywhere), trading wall-clock for the same results.
+* **Ingest** — each shard folds its routed batch into a start-sorted
+  log (batches arrive in barrier order and batch b's starts all precede
+  batch b+1's, so concatenation preserves the sort — no per-barrier
+  re-sort) serving both carrier sense and collision verdicts via
+  bisect-bounded slivers, and schedules one delivery event per frame at
+  its exact ``e + L`` (the *retime* step).
 * **Exactness** — nodes interact *only* through the medium, and the
-  committed log every shard sees is a pure function of per-node streams
-  and earlier barriers, so by induction over barriers no observable —
-  deliveries, collisions, CSMA back-offs, energy charges, fault draws —
-  depends on which nodes happen to be co-resident.  Carrier sense and
-  uniform frame loss draw from per-node streams (``("shard-medium",
-  id)`` / ``("shard-loss", id)``) instead of the classic shared medium
-  stream for the same reason.
-* **Collisions** — a frame is delivered at the first barrier at or
-  after its end time; every frame that could strictly overlap it has
-  been committed by then (any ``g`` with ``g.start < f.end <= t_b`` is
-  in a batch no later than ``t_b``), so per-receiver verdicts read the
-  committed log only.
+  committed traffic every shard sees is a pure function of per-node
+  streams and earlier barriers, so by induction over barriers no
+  observable — deliveries, collisions, CSMA back-offs, energy charges,
+  fault draws — depends on which nodes happen to be co-resident.
+  Carrier sense and uniform frame loss draw from per-node streams
+  (``("shard-medium", id)`` / ``("shard-loss", id)``) instead of the
+  classic shared medium stream for the same reason.  (Kernel *event
+  counts* are not observables: audibility routing legitimately changes
+  ``sim_events_processed`` across K, and only the spawn/inproc pairing
+  at equal K asserts it.)
+* **Collisions** — a frame resolving at ``e + L`` checks strict overlap
+  of shifted occupancies, which equals unshifted overlap (the shift
+  cancels); every overlapping frame ``g`` satisfies ``g.start < e``, so
+  ``g`` is committed by ``g.start + epoch < e + L`` — strictly before
+  the verdict needs it, for any sound epoch.  The receiver's *own*
+  transmissions block reception in real time (half duplex), checked
+  against a resident-local send log rather than the committed one.
 
 ``shards=0`` (the default) never reaches this module: the classic
-single-world engine runs untouched.  ``shards>=1`` all use this slotted
-engine, so the invariance family ``{1, 2, 4}`` compares like with like.
+single-world engine runs untouched.  Note the retimed universe is a
+*different* (equally valid) physics from the classic engine's
+zero-latency one — sharded runs are compared against each other, never
+against ``shards=0``.
 
 Backends: ``spawn`` runs each shard in its own process connected by a
 pipe; ``inproc`` steps the K worlds round-robin in this process (the
 bit-identical fallback used for K=1, inside daemonic pool workers, and
-on single-CPU hosts).  ``REPRO_SHARD_BACKEND`` forces either.
+on single-CPU hosts — CPU availability is measured container-aware via
+:func:`repro.harness.parallel.available_cpu_count`).
+``REPRO_SHARD_BACKEND`` forces either.
 """
 
 from __future__ import annotations
@@ -59,7 +113,7 @@ import os
 import time as _wallclock
 import traceback
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple)
 
 from repro.core.base import ProtocolCounters
 from repro.core.events import Event, EventFactory
@@ -69,17 +123,19 @@ from repro.metrics import MetricsCollector
 from repro.net import Node, WirelessMedium
 from repro.net.medium import Transmission
 from repro.sim import RngRegistry, Simulator, TimerWheel
+from repro.sim.shard.config import (DEFAULT_EPOCH_S, ShardConfig,
+                                    resolve_epoch_s)
 from repro.sim.shard.partition import ShardPlan
 from repro.sim.space import Vec2
 
-#: Barrier spacing, seconds.  0.25 is exactly representable in binary
-#: floating point, so every shard computes bit-equal barrier instants.
-DEFAULT_EPOCH_S = 0.25
-
-#: Metres added to the radio range in the bounding-box prefilter —
-#: keeps the box test a strict superset of the exact audibility
+#: Metres added to the radio range in every bounding-box prefilter —
+#: keeps the box tests strict supersets of the exact audibility
 #: predicate regardless of rounding, at zero cost.
 _BBOX_SLACK_M = 1.0
+
+#: The conservative stand-down bounding box: covers everything, so
+#: every prune that cannot be proven sound simply stops pruning.
+_EVERYWHERE = (-math.inf, -math.inf, math.inf, math.inf)
 
 
 @dataclass
@@ -105,7 +161,9 @@ def compute_barriers(warmup: float, duration: float,
     """The ascending epoch-barrier instants for one run.
 
     Multiples of ``epoch`` up to the run end, plus the warm-up boundary
-    (metrics thaw there) and the exact end instant, deduplicated.
+    (metrics thaw there) and the exact end instant, deduplicated.  The
+    extra instants only subdivide epochs, which the retimed exchange is
+    insensitive to.
     """
     end = warmup + duration
     ticks = set()
@@ -125,11 +183,13 @@ def compute_ownership(config) -> Tuple[List[int], ShardPlan]:
     Replays, in a throwaway world, precisely the prefix of each node's
     ``("node", i)`` stream that the real ``Node.start`` consumes before
     any protocol draw — ``MobilityModel.start`` — and reads the model's
-    position at time zero.  The stripe plan spans the initial
-    population's x-extent with the medium's grid-cell geometry
+    position at time zero.  The tile plan spans the initial
+    population's extent with the medium's grid-cell geometry
     (``range + anchor slack``), so shard borders line up with
-    :class:`~repro.sim.space.SpatialGrid` cell columns.
+    :class:`~repro.sim.space.SpatialGrid` cells; ``rows=1`` (a plain
+    integer ``shards=K``) keeps the historical vertical stripes.
     """
+    shards = ShardConfig.coerce(config.shards)
     sim = Simulator()
     rngs = RngRegistry(config.seed)
     positions: List[Vec2] = []
@@ -144,43 +204,110 @@ def compute_ownership(config) -> Tuple[List[int], ShardPlan]:
     max_x = max(p.x for p in positions)
     if max_x <= min_x:
         max_x = min_x + cell
-    plan = ShardPlan(min_x=min_x, max_x=max_x, shards=config.shards,
-                     cell_size=cell)
+    min_y = max_y = 0.0
+    if shards.rows > 1:
+        min_y = min(p.y for p in positions)
+        max_y = max(p.y for p in positions)
+        if max_y <= min_y:
+            max_y = min_y + cell
+    plan = ShardPlan(min_x=min_x, max_x=max_x, shards=shards.shards,
+                     cell_size=cell, rows=shards.rows,
+                     min_y=min_y, max_y=max_y or None)
     owners = [plan.shard_of(p) for p in positions]
     return owners, plan
 
 
+def _routing_margin_m(config, latency_s: float) -> Optional[float]:
+    """The reach inflation that makes audibility routing sound.
+
+    A frame committed at barrier ``t_c`` is last consulted no later
+    than ``t_c + 2 * horizon + L`` (its own delivery at ``e + L <= t_c
+    + airtime + L``, carrier sense while on the shifted air, and
+    collision verdicts of frames it overlaps, each at most ``horizon``
+    later — the classic medium already bounds airtime and collision
+    windows by its history horizon).  Residents drift at most ``v_max``
+    metres per second from the bounding region measured at ``t_c``, so
+    inflating each frame's radio range by ``v_max * (2 * horizon + L)``
+    (plus the usual slack) makes the box test a strict superset of
+    every audibility predicate the shard will ever evaluate against the
+    frame.  ``None`` — the mobility spec cannot bound speed — disarms
+    the prune entirely.
+    """
+    v_max = config.mobility.max_speed_mps()
+    if v_max is None:
+        return None
+    horizon = config.medium.history_horizon_s
+    return v_max * (2.0 * horizon + latency_s) + _BBOX_SLACK_M
+
+
+def _filter_batch(merged: List[ShardFrame],
+                  bbox: Optional[Tuple[float, float, float, float]],
+                  margin: Optional[float]) -> List[ShardFrame]:
+    """One shard's routed slice of the canonical committed batch.
+
+    A subsequence of a canonically sorted list is itself canonically
+    sorted, so routing never perturbs merge order.  ``bbox=None`` means
+    the shard has no residents (nothing can hear anything — ship
+    nothing); an unbounded box or ``margin=None`` stands the prune down
+    (ship everything).
+    """
+    if bbox is None:
+        return []
+    if margin is None or bbox[0] == -math.inf:
+        return merged
+    out = []
+    for frame in merged:
+        pos = frame.tx.sender_pos
+        dx = max(bbox[0] - pos.x, 0.0, pos.x - bbox[2])
+        dy = max(bbox[1] - pos.y, 0.0, pos.y - bbox[3])
+        reach = frame.tx.range_m + margin
+        if dx * dx + dy * dy <= reach * reach:
+            out.append(frame)
+    return out
+
+
 class ShardMedium(WirelessMedium):
-    """The slotted per-shard medium.
+    """The slotted per-shard medium with retimed deliveries.
 
     Differences from the classic :class:`WirelessMedium`:
 
     * outgoing frames divert through ``shard_ingress`` into an epoch
       outbox instead of resolving receivers immediately;
-    * carrier sense covers *committed* frames still on the air plus the
-      sender's own pending frames (a node always hears itself), never a
-      co-resident neighbour's uncommitted traffic — co-residency must
-      be unobservable;
+    * committed frames occupy the channel shifted by the universe's
+      delivery latency — carrier sense sees a neighbour's frame over
+      ``(start + L, end + L)`` and the sender's own over ``[start,
+      end)`` (half duplex in real time), never a co-resident
+      neighbour's *uncommitted* traffic: co-residency must be
+      unobservable;
     * CSMA back-off and uniform frame-loss draws come from per-node
       streams so their sequences are independent of shard composition;
-    * deliveries and collision verdicts happen at barriers, against the
-      canonical committed log shared by every shard.
+    * each ingested frame's delivery — receiver resolution, collision
+      verdict, loss draws, protocol reaction — runs as a kernel event
+      at its exact ``end + L``, *inside* the epoch, not at a barrier.
     """
 
     def __init__(self, sim, radio, config, sizes,
                  node_rng: Callable[[int], object],
-                 loss_rng: Callable[[int], object]):
+                 loss_rng: Callable[[int], object],
+                 latency_s: float, epoch_s: float,
+                 max_speed_mps: Optional[float]):
         super().__init__(sim, radio, config=config, sizes=sizes, rng=None)
         self._node_rng = node_rng
         self._loss_rng = loss_rng
+        self._latency_s = latency_s
+        # The delivery-time resident bbox is recomputed lazily after
+        # every ingest, so it can be up to one epoch stale when a
+        # mid-epoch delivery consults it; bounded drift inflates the
+        # reach, unbounded drift disarms the prefilter.
+        self._drift_m = (None if max_speed_mps is None
+                         else max_speed_mps * epoch_s)
         self.shard_ingress = self._shard_enqueue
         self._outbox: List[ShardFrame] = []
         self._tx_seq: Dict[int, int] = {}
         self._last_tx_end: Dict[int, float] = {}
-        self._live: List[ShardFrame] = []      # committed, still on air
+        self._own_tx: Dict[int, List[Tuple[float, float]]] = {}
         self._log: List[ShardFrame] = []       # committed, start-sorted
         self._log_starts: List[float] = []
-        self._pending: List[ShardFrame] = []   # committed, end > barrier
         self._max_airtime = 0.0
         self._bbox: Optional[Tuple[float, float, float, float]] = None
         self._bbox_valid = False
@@ -194,6 +321,10 @@ class ShardMedium(WirelessMedium):
         prev = self._last_tx_end.get(tx.sender, -math.inf)
         if tx.end > prev:
             self._last_tx_end[tx.sender] = tx.end
+        # Resident-local send log: the half-duplex side of collision
+        # verdicts reads the receiver's *real-time* transmissions,
+        # which never wait for a barrier.
+        self._own_tx.setdefault(tx.sender, []).append((tx.start, tx.end))
 
     def _attempt_send(self, sender_id: int, message, attempt: int) -> None:
         sender = self._nodes.get(sender_id)
@@ -216,9 +347,22 @@ class ShardMedium(WirelessMedium):
         now = self.sim.now
         if self._last_tx_end.get(sender_id, -math.inf) > now:
             return True   # own frame still on the air (half duplex)
-        for frame in self._live:
+        shift = self._latency_s
+        # A committed frame occupies the shifted channel at `now` iff
+        # start + L < now < end + L (open start: at exactly start + L
+        # the channel is still idle under *every* epoch — a frame is
+        # not yet visible to same-instant events in the epoch that
+        # commits it).  Only frames with start in [now - L - airtime,
+        # now - L) qualify; the start-sorted log narrows the scan to
+        # that sliver instead of one full epoch of traffic.
+        lo = bisect.bisect_left(self._log_starts,
+                                now - shift - self._max_airtime)
+        hi = bisect.bisect_left(self._log_starts, now - shift)
+        for frame in self._log[lo:hi]:
             tx = frame.tx
-            if tx.end > now and tx.audible_at(pos):
+            if tx.sender == sender_id:
+                continue   # own frames are real-time, handled above
+            if now < tx.end + shift and tx.audible_at(pos):
                 return True
         return False
 
@@ -235,56 +379,63 @@ class ShardMedium(WirelessMedium):
         self._outbox = []
         return out
 
-    # -- receiving (barrier side) ------------------------------------------
+    def routing_bbox(self) -> Optional[Tuple[float, float, float, float]]:
+        """The resident bounding region at this instant — the driver's
+        audibility-routing input, recomputed exactly at every barrier
+        (``None``: no residents; infinite: position unknown, prune must
+        stand down)."""
+        return self._compute_bbox()
+
+    # -- receiving (barrier + retime side) ---------------------------------
 
     def ingest_committed(self, frames: Sequence[ShardFrame],
                          barrier: float) -> None:
-        """Fold the canonical committed batch into the local log.
+        """Fold this shard's routed slice of the committed batch in.
 
-        Updates the live set (carrier sense for the coming epoch), the
-        start-sorted collision log (pruned past the history horizon)
-        and the pending-delivery queue; :meth:`deliver_due` walks what
-        has landed by this barrier.
+        Updates the start-sorted committed log, which serves both
+        carrier sense (shifted occupancy at ``now``) and collision
+        verdicts.  Batches arrive in barrier order and all of batch b's
+        starts precede batch b+1's (a frame sent after barrier ``t_b``
+        starts after it), so appending preserves the sort — the
+        per-barrier re-sort the stripe-era engine paid is gone.
         """
         self._bbox_valid = False
-        self._live = [f for f in self._live if f.tx.end > barrier]
+        shift = self._latency_s
         for frame in frames:
             airtime = frame.tx.end - frame.tx.start
             if airtime > self._max_airtime:
                 self._max_airtime = airtime
-            if frame.tx.end > barrier:
-                self._live.append(frame)
-        cutoff = barrier - self.config.history_horizon_s
+        # Committed frame g is last consulted by verdicts of frames it
+        # overlaps, at most horizon + L past its end (see the module
+        # docstring); prune with that cutoff, from the front only.
+        cutoff = barrier - self.config.history_horizon_s - shift
         if self._log and self._log[0].tx.end <= cutoff:
             self._log = [f for f in self._log if f.tx.end > cutoff]
+            self._log_starts = [f.tx.start for f in self._log]
         self._log.extend(frames)
-        # Nearly sorted (batches arrive in barrier order; only reaction
-        # frames at the previous barrier instant straddle), so Timsort
-        # is cheap — and the canonical key keeps every shard's log in
-        # the identical order.
-        self._log.sort(key=_frame_key)
-        self._log_starts = [f.tx.start for f in self._log]
-        self._pending.extend(frames)
+        self._log_starts.extend(f.tx.start for f in frames)
+        for sender, spans in self._own_tx.items():
+            if spans and spans[0][1] <= cutoff:
+                self._own_tx[sender] = [s for s in spans if s[1] > cutoff]
 
-    def deliver_due(self, barrier: float) -> None:
-        """Deliver every committed frame whose airtime ended by now.
+    def schedule_deliveries(self, frames: Sequence[ShardFrame]) -> None:
+        """Retime: arm one kernel event per routed frame at its exact
+        delivery instant ``end + latency``.
 
-        Frames resolve in canonical order against the shard's resident
-        nodes at their exact current positions; verdicts, loss draws
-        and protocol reactions all happen at the barrier instant.
+        Always strictly in the future (``end + L > start + L >=
+        commitment barrier``), and same-instant deliveries tie-break by
+        scheduling order — which is canonical batch order here, hence
+        identical for every shard count and epoch length.
         """
-        due = [f for f in self._pending if f.tx.end <= barrier]
-        if not due:
-            return
-        self._pending = [f for f in self._pending if f.tx.end > barrier]
-        due.sort(key=_frame_key)
-        for frame in due:
-            self._resolve_frame(frame)
+        shift = self._latency_s
+        for frame in frames:
+            self.sim.call_at(frame.tx.end + shift,
+                             self._resolve_frame, frame)
 
     def _resolve_frame(self, frame: ShardFrame) -> None:
         tx = frame.tx
         if not self._bbox_may_hear(tx):
-            return   # no resident node within range: provably no-op
+            return   # no resident node within reach: provably no-op
         duration = tx.end - tx.start
         for node_id, rx_pos in self._audible_residents(tx):
             node = self._nodes.get(node_id)
@@ -301,7 +452,8 @@ class ShardMedium(WirelessMedium):
 
     def _audible_residents(self, tx: Transmission
                            ) -> List[Tuple[int, Vec2]]:
-        """Resident nodes (exact positions, ascending id) in range.
+        """Resident nodes (exact positions at the delivery instant,
+        ascending id) in range.
 
         Mirrors the classic receiver resolution: grid candidates are
         re-filtered against exact interpolated positions (via the
@@ -337,20 +489,31 @@ class ShardMedium(WirelessMedium):
 
     def _corrupt_verdict(self, frame: ShardFrame, receiver_id: int,
                          rx_pos: Vec2) -> bool:
-        """Collision check against the committed log (strict overlap;
-        half-duplex when the receiver sent the other frame)."""
+        """Collision check at the delivery instant.
+
+        Two shifted occupancies overlap iff the unshifted airtimes do
+        (the latency shift cancels), so the committed-log scan keeps
+        its unshifted window.  The *receiver's own* transmissions are
+        the exception: they block its radio in real time, so the
+        half-duplex test intersects the receiver's local send log with
+        the frame's shifted arrival window.
+        """
         tx = frame.tx
+        shift = self._latency_s
+        for (own_start, own_end) in self._own_tx.get(receiver_id, ()):
+            if own_start < tx.end + shift and tx.start + shift < own_end:
+                return True
         lo = bisect.bisect_left(self._log_starts,
                                 tx.start - self._max_airtime)
         hi = bisect.bisect_left(self._log_starts, tx.end)
         for other in self._log[lo:hi]:
             otx = other.tx
-            if other.seq == frame.seq and otx.sender == tx.sender:
-                continue
-            if not (otx.start < tx.end and tx.start < otx.end):
+            if otx.sender == tx.sender and other.seq == frame.seq:
                 continue
             if otx.sender == receiver_id:
-                return True
+                continue   # real-time half duplex, handled above
+            if not (otx.start < tx.end and tx.start < otx.end):
+                continue
             if otx.audible_at(rx_pos):
                 return True
         return False
@@ -390,10 +553,14 @@ class ShardMedium(WirelessMedium):
         self._bbox_valid = False
 
     def _bbox_may_hear(self, tx: Transmission) -> bool:
-        """Could *any* resident hear this frame?  Conservative test of
-        the radio disc against the resident population's bounding box
-        (computed lazily from exact current positions, so skipping a
-        frame that fails it is observably a no-op for every K)."""
+        """Could *any* resident hear this frame at its delivery
+        instant?  Conservative test of the radio disc against the
+        resident population's bounding box — cached since the last
+        ingest (or registration), hence up to one epoch stale, which
+        the drift inflation absorbs.  Skipping a frame that fails it is
+        observably a no-op for every K and epoch."""
+        if self._drift_m is None:
+            return True   # unbounded drift: the prefilter stands down
         if not self._bbox_valid:
             self._bbox = self._compute_bbox()
             self._bbox_valid = True
@@ -403,7 +570,7 @@ class ShardMedium(WirelessMedium):
         pos = tx.sender_pos
         dx = max(box[0] - pos.x, 0.0, pos.x - box[2])
         dy = max(box[1] - pos.y, 0.0, pos.y - box[3])
-        reach = tx.range_m + _BBOX_SLACK_M
+        reach = tx.range_m + _BBOX_SLACK_M + self._drift_m
         return dx * dx + dy * dy <= reach * reach
 
     def _compute_bbox(self) -> Optional[Tuple[float, float, float, float]]:
@@ -413,9 +580,9 @@ class ShardMedium(WirelessMedium):
             try:
                 pos = node.position()
             except RuntimeError:
-                # Unstarted mobility: position unknown, so the prune
+                # Unstarted mobility: position unknown, so every prune
                 # must stand down entirely to stay conservative.
-                return (-math.inf, -math.inf, math.inf, math.inf)
+                return _EVERYWHERE
             min_x = min(min_x, pos.x)
             min_y = min(min_y, pos.y)
             max_x = max(max_x, pos.x)
@@ -428,7 +595,8 @@ class ShardMedium(WirelessMedium):
 class _ShardWorld:
     """One shard's complete sub-world and its barrier-stepping driver."""
 
-    def __init__(self, config, shard_index: int, owners: Sequence[int]):
+    def __init__(self, config, shard_index: int, owners: Sequence[int],
+                 epoch_s: float):
         # Imported here (not at module top) to keep this module
         # importable without dragging the harness in at package-import
         # time; run_scenario imports us lazily for the same reason.
@@ -438,12 +606,17 @@ class _ShardWorld:
         self.shard_index = shard_index
         self.sim = Simulator()
         self.rngs = RngRegistry(config.seed)
+        self.stats = {"drain_s": 0.0, "ingest_s": 0.0, "retime_s": 0.0,
+                      "frames_in": 0}
         wheel = TimerWheel(self.sim) if config.coalesced_timers else None
+        shards = ShardConfig.coerce(config.shards)
         self.medium = ShardMedium(
             self.sim, config.radio, config=config.medium,
             sizes=config.sizes,
             node_rng=lambda i: self.rngs.stream("shard-medium", i),
-            loss_rng=lambda i: self.rngs.stream("shard-loss", i))
+            loss_rng=lambda i: self.rngs.stream("shard-loss", i),
+            latency_s=shards.latency_s, epoch_s=epoch_s,
+            max_speed_mps=config.mobility.max_speed_mps())
         self.collector = MetricsCollector(self.medium)
         self.energy = (EnergyAccountant(self.medium, config.energy)
                        if config.energy is not None else None)
@@ -510,17 +683,29 @@ class _ShardWorld:
 
     # -- barrier protocol --------------------------------------------------
 
-    def advance_to(self, barrier: float) -> List[ShardFrame]:
-        """Run the local kernel up to the barrier; drain the outbox."""
+    def advance_to(self, barrier: float
+                   ) -> Tuple[List[ShardFrame], Optional[Tuple]]:
+        """Run the local kernel up to the barrier; drain the outbox and
+        measure the resident bounding region for audibility routing."""
         self.sim.run(until=barrier)
-        return self.medium.collect_outbox()
+        t0 = _wallclock.perf_counter()
+        out = self.medium.collect_outbox()
+        bbox = self.medium.routing_bbox()
+        self.stats["drain_s"] += _wallclock.perf_counter() - t0
+        return out, bbox
 
-    def ingest(self, barrier: float, merged: Sequence[ShardFrame]) -> None:
-        """Fold the canonical batch in, deliver what is due, and (at
-        the warm-up barrier) thaw metrics exactly as the classic run
-        does after ``sim.run(until=warmup)``."""
-        self.medium.ingest_committed(merged, barrier)
-        self.medium.deliver_due(barrier)
+    def ingest(self, barrier: float, routed: Sequence[ShardFrame]) -> None:
+        """Fold this shard's routed batch in, retime its deliveries,
+        and (at the warm-up barrier) thaw metrics exactly as the
+        classic run does after ``sim.run(until=warmup)``."""
+        t0 = _wallclock.perf_counter()
+        self.medium.ingest_committed(routed, barrier)
+        t1 = _wallclock.perf_counter()
+        self.medium.schedule_deliveries(routed)
+        t2 = _wallclock.perf_counter()
+        self.stats["ingest_s"] += t1 - t0
+        self.stats["retime_s"] += t2 - t1
+        self.stats["frames_in"] += len(routed)
         if self._warmup_pending and barrier == self.config.warmup:
             self._warmup_pending = False
             self.collector.resume()
@@ -543,6 +728,7 @@ class _ShardWorld:
             "timeline": None if self.faults is None
                         else self.faults.timeline,
             "events": self.sim.events_processed,
+            "stats": self.stats,
         }
 
 
@@ -550,47 +736,65 @@ class _ShardWorld:
 
 
 def _select_backend(shards: int) -> str:
-    """Pick spawn vs in-process (env override ``REPRO_SHARD_BACKEND``)."""
+    """Pick spawn vs in-process (env override ``REPRO_SHARD_BACKEND``).
+
+    Daemonic pool workers (the ``--jobs N`` parallel engine) may not
+    spawn children, so even an explicit ``spawn`` degrades to the
+    bit-identical in-process backend there instead of crashing deep in
+    ``multiprocessing``.
+    """
+    from repro.harness.parallel import available_cpu_count
     choice = os.environ.get("REPRO_SHARD_BACKEND", "auto")
     if choice not in ("auto", "inproc", "spawn"):
         raise ValueError(
             f"REPRO_SHARD_BACKEND must be auto|inproc|spawn: {choice!r}")
+    if multiprocessing.current_process().daemon:
+        return "inproc"   # pool workers may not spawn children
     if choice != "auto":
         return choice
     if shards < 2:
         return "inproc"
-    if multiprocessing.current_process().daemon:
-        return "inproc"   # pool workers may not spawn children
-    if (os.cpu_count() or 1) < 2:
+    if available_cpu_count() < 2:
         return "inproc"   # no parallel hardware: skip the IPC tax
     return "spawn"
 
 
-def _run_inproc(config, owners: List[int],
-                barriers: List[float]) -> List[Dict[str, object]]:
+def _run_inproc(config, owners: List[int], barriers: List[float],
+                epoch_s: float, margin: Optional[float]
+                ) -> Tuple[List[Dict[str, object]], Dict[str, float]]:
     """Round-robin the K shard worlds in this process.
 
     Bit-identical to the spawn backend by construction: the barrier
     protocol is schedule-independent, and each world owns a fresh
     ``RngRegistry(seed)`` exactly as a worker process would.
     """
-    worlds = [_ShardWorld(config, s, owners) for s in range(config.shards)]
+    count = ShardConfig.coerce(config.shards).shards
+    worlds = [_ShardWorld(config, s, owners, epoch_s)
+              for s in range(count)]
+    merge_s = 0.0
+    shipped = 0
     for barrier in barriers:
-        batches = [world.advance_to(barrier) for world in worlds]
+        drained = [world.advance_to(barrier) for world in worlds]
+        t0 = _wallclock.perf_counter()
         merged: List[ShardFrame] = []
-        for batch in batches:
+        for batch, _bbox in drained:
             merged.extend(batch)
         merged.sort(key=_frame_key)
-        for world in worlds:
-            world.ingest(barrier, merged)
-    return [world.finish() for world in worlds]
+        routed = [_filter_batch(merged, bbox, margin)
+                  for _batch, bbox in drained]
+        merge_s += _wallclock.perf_counter() - t0
+        shipped += sum(len(r) for r in routed)
+        for world, slice_ in zip(worlds, routed):
+            world.ingest(barrier, slice_)
+    driver = {"merge_s": merge_s, "frames_exchanged": float(shipped)}
+    return [world.finish() for world in worlds], driver
 
 
-def _shard_worker_main(conn, config, shard_index: int,
-                       owners: List[int], barriers: List[float]) -> None:
+def _shard_worker_main(conn, config, shard_index: int, owners: List[int],
+                       barriers: List[float], epoch_s: float) -> None:
     """Spawn-backend worker: one shard world driven over a pipe."""
     try:
-        world = _ShardWorld(config, shard_index, owners)
+        world = _ShardWorld(config, shard_index, owners, epoch_s)
         for barrier in barriers:
             conn.send(("frames", world.advance_to(barrier)))
             world.ingest(barrier, conn.recv())
@@ -604,40 +808,59 @@ def _shard_worker_main(conn, config, shard_index: int,
         conn.close()
 
 
-def _run_spawn(config, owners: List[int],
-               barriers: List[float]) -> List[Dict[str, object]]:
-    """Run each shard in its own spawned process, barrier-stepped."""
+def _run_spawn(config, owners: List[int], barriers: List[float],
+               epoch_s: float, margin: Optional[float]
+               ) -> Tuple[List[Dict[str, object]], Dict[str, float]]:
+    """Run each shard in its own spawned process, barrier-stepped.
+
+    The parent performs the canonical merge and the audibility routing
+    (it sees every shard's resident bounding region), so each worker
+    receives — and serialises — only the frames its residents could
+    hear.
+    """
     ctx = multiprocessing.get_context("spawn")
     conns = []
     procs = []
+    merge_s = 0.0
+    shipped = 0
+    count = ShardConfig.coerce(config.shards).shards
     try:
-        for s in range(config.shards):
+        for s in range(count):
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_shard_worker_main,
-                args=(child_conn, config, s, owners, barriers),
+                args=(child_conn, config, s, owners, barriers, epoch_s),
                 daemon=True)
             proc.start()
             child_conn.close()
             conns.append(parent_conn)
             procs.append(proc)
         for barrier in barriers:
-            merged: List[ShardFrame] = []
+            drained = []
             for s, conn in enumerate(conns):
                 tag, data = conn.recv()
                 if tag == "error":
                     raise RuntimeError(f"shard {s} failed:\n{data}")
-                merged.extend(data)
+                drained.append(data)
+            t0 = _wallclock.perf_counter()
+            merged: List[ShardFrame] = []
+            for batch, _bbox in drained:
+                merged.extend(batch)
             merged.sort(key=_frame_key)
-            for conn in conns:
-                conn.send(merged)
+            routed = [_filter_batch(merged, bbox, margin)
+                      for _batch, bbox in drained]
+            merge_s += _wallclock.perf_counter() - t0
+            shipped += sum(len(r) for r in routed)
+            for conn, slice_ in zip(conns, routed):
+                conn.send(slice_)
         payloads: List[Dict[str, object]] = []
         for s, conn in enumerate(conns):
             tag, data = conn.recv()
             if tag == "error":
                 raise RuntimeError(f"shard {s} failed:\n{data}")
             payloads.append(data)
-        return payloads
+        driver = {"merge_s": merge_s, "frames_exchanged": float(shipped)}
+        return payloads, driver
     finally:
         for conn in conns:
             conn.close()
@@ -737,17 +960,24 @@ def run_sharded_scenario(config):
 
     The entry point ``run_scenario`` dispatches to for ``shards >= 1``;
     returns a fully merged :class:`~repro.harness.scenario.ScenarioResult`
-    whose summary is invariant in the shard count.
+    whose summary is invariant in the shard count, the tile shape and
+    the (sound) epoch length, with the measured barrier-phase overhead
+    attached as ``barrier_stats``.
     """
     from repro.harness.scenario import ScenarioResult, select_subscribers
 
     started = _wallclock.perf_counter()
+    shards = ShardConfig.coerce(config.shards)
+    epoch = resolve_epoch_s(shards, config.duration, config.warmup)
     owners, _plan = compute_ownership(config)
-    barriers = compute_barriers(config.warmup, config.duration)
-    if _select_backend(config.shards) == "spawn":
-        payloads = _run_spawn(config, owners, barriers)
+    barriers = compute_barriers(config.warmup, config.duration, epoch)
+    margin = _routing_margin_m(config, shards.latency_s)
+    if _select_backend(shards.shards) == "spawn":
+        payloads, driver = _run_spawn(config, owners, barriers, epoch,
+                                      margin)
     else:
-        payloads = _run_inproc(config, owners, barriers)
+        payloads, driver = _run_inproc(config, owners, barriers, epoch,
+                                       margin)
 
     collector = _merge_collectors([p["collector"] for p in payloads])
     published = [event for _, event in
@@ -763,6 +993,15 @@ def run_sharded_scenario(config):
     subscriber_set = set(subscriber_ids)
     non_subscribers = [i for i in range(config.n_processes)
                        if i not in subscriber_set]
+    barrier_stats = {
+        "barriers": float(len(barriers)),
+        "epoch_s": epoch,
+        "frames_exchanged": driver["frames_exchanged"],
+        "drain_s": sum(p["stats"]["drain_s"] for p in payloads),
+        "merge_s": driver["merge_s"],
+        "ingest_s": sum(p["stats"]["ingest_s"] for p in payloads),
+        "retime_s": sum(p["stats"]["retime_s"] for p in payloads),
+    }
     return ScenarioResult(
         config=config,
         collector=collector,
@@ -772,4 +1011,5 @@ def run_sharded_scenario(config):
         sim_events_processed=sum(p["events"] for p in payloads),
         wallclock_s=_wallclock.perf_counter() - started,
         energy=energy,
-        faults=timeline)
+        faults=timeline,
+        barrier_stats=barrier_stats)

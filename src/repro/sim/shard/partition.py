@@ -1,28 +1,33 @@
-"""Spatial partitioning of one world into vertical shard stripes.
+"""Spatial partitioning of one world into an R x C grid of shard tiles.
 
-A :class:`ShardPlan` slices the world's x-extent into ``K`` contiguous
-stripes of whole grid-cell columns, using the *same* cell geometry as
+A :class:`ShardPlan` slices the world's extent into ``shards = R * C``
+tiles of whole grid cells, using the *same* cell geometry as
 :class:`repro.sim.space.SpatialGrid`: cells are ``cell_size`` wide and
 aligned to the origin (column ``c`` spans ``[c*cell, (c+1)*cell)``, the
-half-open interval ``math.floor(x / cell_size)`` induces).  Column
-``i*C//K .. (i+1)*C//K`` goes to shard ``i`` — the classic balanced
-integer split, so stripe widths differ by at most one cell and a world
-narrower than ``K`` cells simply leaves the surplus shards empty.
+half-open interval ``math.floor(x / cell_size)`` induces), and rows the
+same along y.  Each axis gets the classic balanced integer split
+(``i*T//N .. (i+1)*T//N`` over ``T`` cells), so band widths differ by at
+most one cell and a world narrower than its band count simply leaves the
+surplus bands empty.  ``rows=1`` — the default — reproduces the PR 8
+vertical-stripe plan exactly: full-height stripes whose ownership and
+audibility predicates never consult y.
 
 The plan answers two geometric questions:
 
 * :meth:`ShardPlan.shard_of` — which shard owns a position (positions
-  outside the covered extent clamp to the nearest stripe, so drifting
+  outside the covered extent clamp to the nearest tile, so drifting
   mobility models never fall off the map);
 * :meth:`ShardPlan.mirror_shards` — which *other* shards could hear a
-  transmission from a position: every shard whose closed stripe
+  transmission from a position: every shard whose closed tile rectangle
   intersects the closed disc of the radio range around it.  This is the
-  boundary-zone predicate of the sharded engine: a frame is shipped to
-  its sender's own shard plus exactly its mirror shards.
+  boundary-zone predicate of the sharded engine; the exchange layer
+  additionally prunes by each shard's *resident* bounding region, since
+  owned nodes drift out of their home tile over time.
 
-Both predicates are pure float comparisons on the column edges, so every
+Both predicates are pure float comparisons on the band edges, so every
 worker computes the identical answers — the property suite in
-``tests/test_space.py`` checks them against brute-force oracles.
+``tests/test_space.py`` checks them against brute-force oracles for
+stripes and tiles alike.
 """
 
 from __future__ import annotations
@@ -30,99 +35,188 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.sim.space import Vec2
 
 
+def _bands(lo: float, hi: float, count: int,
+           cell: float) -> Tuple[Tuple[int, int], ...]:
+    """Balanced half-open cell-index ranges covering ``[lo, hi]``."""
+    first = math.floor(lo / cell)
+    last = math.floor(hi / cell)
+    total = last - first + 1
+    return tuple((first + (i * total) // count,
+                  first + ((i + 1) * total) // count)
+                 for i in range(count))
+
+
 @dataclass(frozen=True)
 class ShardPlan:
-    """A fixed K-way vertical-stripe partition of an x-extent.
+    """A fixed R x C tile partition of a world extent.
 
     Attributes
     ----------
     min_x, max_x:
-        The world extent to cover, metres (``max_x > min_x``).
+        The x-extent to cover, metres (``max_x > min_x``).
     shards:
-        Number of stripes ``K >= 1``.
+        Total tile count ``K = rows * cols >= 1``.
     cell_size:
-        Grid-cell width, metres — callers pass the medium's inflated
-        query radius (``range + anchor slack``) so stripe borders line
+        Grid-cell pitch, metres — callers pass the medium's inflated
+        query radius (``range + anchor slack``) so tile borders line
         up with :class:`~repro.sim.space.SpatialGrid` cells.
+    rows:
+        Horizontal bands ``R`` (must divide ``shards``); ``1`` keeps
+        the classic full-height vertical stripes.
+    min_y, max_y:
+        The y-extent to cover when ``rows > 1`` (ignored for stripes,
+        whose bands span all of y).
     """
 
     min_x: float
     max_x: float
     shards: int
     cell_size: float
-    #: Half-open column index ranges ``[start, stop)`` per shard, in
-    #: absolute SpatialGrid column units (derived, not passed).
+    rows: int = 1
+    min_y: float = 0.0
+    max_y: Optional[float] = None
+    #: Half-open column index ranges ``[start, stop)`` per *shard* (not
+    #: per column band), in absolute SpatialGrid column units — kept in
+    #: per-shard form for compatibility with the stripe-era accessors.
     columns: Tuple[Tuple[int, int], ...] = field(init=False)
+    #: Half-open row index ranges per shard (``rows=1``: every shard
+    #: gets the unbounded sentinel ``(None, None)`` — full height).
+    row_bands: Tuple[Tuple[Optional[int], Optional[int]], ...] = \
+        field(init=False)
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1: {self.shards}")
+        if self.rows < 1 or self.shards % self.rows:
+            raise ValueError(
+                f"rows must divide the shard count: "
+                f"{self.shards} % {self.rows} != 0")
         if self.cell_size <= 0:
             raise ValueError(f"cell_size must be positive: {self.cell_size}")
         if not self.max_x > self.min_x:
             raise ValueError(
                 f"need max_x > min_x: [{self.min_x}, {self.max_x}]")
-        first = math.floor(self.min_x / self.cell_size)
-        last = math.floor(self.max_x / self.cell_size)
-        total = last - first + 1
-        ranges = tuple(
-            (first + (i * total) // self.shards,
-             first + ((i + 1) * total) // self.shards)
-            for i in range(self.shards))
-        object.__setattr__(self, "columns", ranges)
+        cols = self.shards // self.rows
+        col_bands = _bands(self.min_x, self.max_x, cols, self.cell_size)
+        if self.rows > 1:
+            if self.max_y is None or not self.max_y > self.min_y:
+                raise ValueError(
+                    f"rows={self.rows} needs max_y > min_y: "
+                    f"[{self.min_y}, {self.max_y}]")
+            y_bands: Tuple[Tuple[Optional[int], Optional[int]], ...] = \
+                _bands(self.min_y, self.max_y, self.rows, self.cell_size)
+        else:
+            y_bands = ((None, None),)
+        # Row-major shard order: shard r*C + c is row band r, col band c.
+        object.__setattr__(self, "columns", tuple(
+            col_bands[s % cols] for s in range(self.shards)))
+        object.__setattr__(self, "row_bands", tuple(
+            y_bands[s // cols] for s in range(self.shards)))
+        object.__setattr__(self, "_col_bands", col_bands)
+        object.__setattr__(self, "_y_bands", y_bands)
 
     # -- derived geometry ---------------------------------------------------
 
-    def stripe(self, shard: int) -> Tuple[float, float]:
-        """The half-open x-interval ``[lo, hi)`` of one shard's stripe.
+    @property
+    def cols(self) -> int:
+        """Column bands ``C = shards // rows``."""
+        return self.shards // self.rows
 
-        Empty shards (a world narrower than K cells) return a
+    def stripe(self, shard: int) -> Tuple[float, float]:
+        """The half-open x-interval ``[lo, hi)`` of one shard's tile.
+
+        Empty bands (a world narrower than its band count) return a
         zero-width interval; boundary positions therefore always
         resolve to exactly one owner.
         """
         start, stop = self.columns[shard]
         return start * self.cell_size, stop * self.cell_size
 
-    def _edges(self) -> List[float]:
-        # Interior stripe boundaries, ascending — bisection targets.
-        return [self.columns[i][0] * self.cell_size
-                for i in range(1, self.shards)]
+    def tile(self, shard: int) -> Tuple[float, float, float, float]:
+        """One shard's half-open rectangle ``(x_lo, y_lo, x_hi, y_hi)``
+        (stripes: y unbounded)."""
+        x_lo, x_hi = self.stripe(shard)
+        r_start, r_stop = self.row_bands[shard]
+        if r_start is None:
+            return (x_lo, -math.inf, x_hi, math.inf)
+        return (x_lo, r_start * self.cell_size,
+                x_hi, r_stop * self.cell_size)
+
+    def _edges(self, bands) -> List[float]:
+        # Interior band boundaries, ascending — bisection targets.
+        return [bands[i][0] * self.cell_size for i in range(1, len(bands))]
 
     def shard_of(self, pos: Vec2) -> int:
         """The single shard owning ``pos`` (clamped into the extent).
 
-        Ownership is by x only — stripes span the full y range — and is
-        total: positions left of the first stripe belong to shard 0,
-        positions at or right of the last boundary to shard K-1.
+        Each axis resolves independently by bisection on its interior
+        band edges — positions left of the first band belong to band 0,
+        positions at or right of the last boundary to the last band —
+        and the owner is the row-major tile index.  Stripes (``rows=1``)
+        never consult y, exactly as before.
         """
-        return bisect.bisect_right(self._edges(), pos.x)
+        col = bisect.bisect_right(self._edges(self._col_bands), pos.x)
+        if self.rows == 1:
+            return col
+        row = bisect.bisect_right(self._edges(self._y_bands), pos.y)
+        return row * self.cols + col
 
     def mirror_shards(self, pos: Vec2, range_m: float) -> List[int]:
-        """Non-owner shards whose stripe intersects the radio disc.
+        """Non-owner shards whose tile intersects the radio disc.
 
-        The closed disc of radius ``range_m`` around ``pos`` intersects
-        the closed stripe ``[lo, hi]`` iff ``pos.x + r >= lo`` and
-        ``pos.x - r <= hi`` (y never discriminates: stripes are
-        full-height).  Empty stripes are never mirrored into.
+        The region tested is the shard's *ownership region*, not its
+        bare tile: :meth:`shard_of` clamps out-of-extent positions into
+        the boundary bands, so boundary tiles extend to infinity on
+        their outer sides.  Each axis uses the classic closed-interval
+        check (``lo <= pos + r and pos - r <= hi`` — bit-identical to
+        the historical stripe predicate, which matters because band
+        edges are exact cell multiples and ``lo - pos`` rounds
+        differently from ``pos + r``); only when the point sits
+        diagonally off an interior tile corner does the Euclidean
+        ``hypot`` of the two axis gaps refine the verdict.  Empty tiles
+        are never mirrored into.
         """
         if range_m < 0:
             raise ValueError(f"range_m must be >= 0: {range_m}")
         owner = self.shard_of(pos)
+        cols = self.cols
         hits: List[int] = []
         for shard in range(self.shards):
             if shard == owner:
                 continue
-            start, stop = self.columns[shard]
-            if start == stop:
+            c_start, c_stop = self.columns[shard]
+            if c_start == c_stop:
                 continue
-            lo, hi = self.stripe(shard)
-            if pos.x + range_m >= lo and pos.x - range_m <= hi:
-                hits.append(shard)
+            r_start, r_stop = self.row_bands[shard]
+            if r_start is not None and r_start == r_stop:
+                continue
+            x_lo, y_lo, x_hi, y_hi = self.tile(shard)
+            if shard % cols == 0:
+                x_lo = -math.inf
+            if shard % cols == cols - 1:
+                x_hi = math.inf
+            if not (x_lo <= pos.x + range_m
+                    and pos.x - range_m <= x_hi):
+                continue
+            if r_start is not None:
+                if shard // cols == 0:
+                    y_lo = -math.inf
+                if shard // cols == self.rows - 1:
+                    y_hi = math.inf
+                if not (y_lo <= pos.y + range_m
+                        and pos.y - range_m <= y_hi):
+                    continue
+                dx = max(x_lo - pos.x, 0.0, pos.x - x_hi)
+                dy = max(y_lo - pos.y, 0.0, pos.y - y_hi)
+                if dx > 0.0 and dy > 0.0 \
+                        and math.hypot(dx, dy) > range_m:
+                    continue
+            hits.append(shard)
         return hits
 
     def audible_shards(self, pos: Vec2, range_m: float) -> List[int]:

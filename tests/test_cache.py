@@ -26,6 +26,7 @@ from repro.harness.scenario import (Publication, RandomWaypointSpec,
                                     ScenarioConfig, StationarySpec,
                                     run_scenario)
 from repro.net import MediumConfig, RadioConfig, SizeModel
+from repro.sim.shard import ShardConfig
 
 
 def base_config(**changes) -> ScenarioConfig:
@@ -167,6 +168,28 @@ class TestDigest:
         not share a cache entry."""
         assert config_digest(base_config()) != \
             config_digest(base_config(faults=FaultConfig()))
+
+    def test_shard_config_fields_all_reach_the_digest(self):
+        """Every ShardConfig knob — tile shape, epoch, latency — must
+        flip the cache key: epoch/tiling are proven result-invariant,
+        but ``barrier_stats`` and engine dispatch still differ, and
+        ``latency_s`` changes the semantics outright."""
+        variants = [
+            ShardConfig(shards=4),
+            ShardConfig(shards=4, rows=2),
+            ShardConfig(shards=4, epoch_s=0.25),
+            ShardConfig(shards=4, epoch_s=0.5),
+            ShardConfig(shards=4, latency_s=2.0),
+        ]
+        digests = {config_digest(base_config(shards=v)) for v in variants}
+        assert len(digests) == len(variants), \
+            "ShardConfig fields must never share a cache entry"
+
+    def test_int_shards_and_equivalent_config_share_a_digest(self):
+        """``shards=4`` coerces to ``ShardConfig(shards=4)`` before the
+        digest, so the two spellings hit the same cache entry."""
+        assert config_digest(base_config(shards=4)) == \
+            config_digest(base_config(shards=ShardConfig(shards=4)))
 
 
 class TestCacheRoundTrip:

@@ -315,3 +315,150 @@ class TestShardPlanProperties:
         small = set(plan.mirror_shards(pos, r_small))
         large = set(plan.mirror_shards(pos, r_small + r_grow))
         assert small <= large
+
+
+class TestShardPlanTiles:
+    """The 2-D generalisation: R x C tile grids against brute oracles."""
+
+    @staticmethod
+    def _plan(data, rows, cols, cell, min_x, min_y):
+        return ShardPlan(min_x=min_x, max_x=min_x + cols * cell + 1.0,
+                         shards=rows * cols, cell_size=cell, rows=rows,
+                         min_y=min_y, max_y=min_y + rows * cell + 1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(),
+           rows=st.integers(1, 4), cols=st.integers(1, 4),
+           cell=st.floats(10.0, 200.0, allow_nan=False),
+           min_x=st.floats(-2000.0, 2000.0, allow_nan=False),
+           min_y=st.floats(-2000.0, 2000.0, allow_nan=False))
+    def test_every_position_has_exactly_one_owning_tile(
+            self, data, rows, cols, cell, min_x, min_y):
+        plan = self._plan(data, rows, cols, cell, min_x, min_y)
+        x_lo = plan.tile(0)[0]
+        y_lo = plan.tile(0)[1] if rows > 1 else min_y
+        x_hi = plan.tile(plan.shards - 1)[2]
+        y_hi = plan.tile(plan.shards - 1)[3] if rows > 1 else min_y + 1.0
+        for _ in range(10):
+            pos = Vec2(
+                data.draw(st.floats(x_lo, x_hi, allow_nan=False,
+                                    exclude_max=True)),
+                data.draw(st.floats(y_lo, y_hi, allow_nan=False,
+                                    exclude_max=True)))
+            containing = [
+                s for s in range(plan.shards)
+                if plan.tile(s)[0] <= pos.x < plan.tile(s)[2]
+                and plan.tile(s)[1] <= pos.y < plan.tile(s)[3]]
+            assert len(containing) == 1, \
+                f"{pos} owned by {containing}, tiles must partition"
+            assert plan.shard_of(pos) == containing[0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(),
+           rows=st.integers(1, 4), cols=st.integers(1, 4),
+           cell=st.floats(10.0, 200.0, allow_nan=False),
+           min_x=st.floats(-2000.0, 2000.0, allow_nan=False),
+           min_y=st.floats(-2000.0, 2000.0, allow_nan=False),
+           range_m=st.floats(0.0, 500.0, allow_nan=False))
+    def test_mirrors_are_exactly_the_disc_tile_overlaps(
+            self, data, rows, cols, cell, min_x, min_y, range_m):
+        plan = self._plan(data, rows, cols, cell, min_x, min_y)
+        pos = Vec2(data.draw(st.floats(min_x - 500.0, min_x + 3000.0,
+                                       allow_nan=False)),
+                   data.draw(st.floats(min_y - 500.0, min_y + 3000.0,
+                                       allow_nan=False)))
+        owner = plan.shard_of(pos)
+        mirrors = plan.mirror_shards(pos, range_m)
+        # Oracle: per-axis closed-interval checks against the clamped
+        # *ownership region* (boundary bands reach to infinity on their
+        # outer sides — shard_of clamps out-of-extent positions into
+        # them), refined by the corner distance only when the point is
+        # diagonally off an interior tile corner.
+        want = []
+        for s in range(plan.shards):
+            if s == owner:
+                continue
+            x_lo, y_lo, x_hi, y_hi = plan.tile(s)
+            if s % plan.cols == 0:
+                x_lo = -math.inf
+            if s % plan.cols == plan.cols - 1:
+                x_hi = math.inf
+            if s // plan.cols == 0:
+                y_lo = -math.inf
+            if s // plan.cols == plan.rows - 1:
+                y_hi = math.inf
+            if not (x_lo <= pos.x + range_m
+                    and pos.x - range_m <= x_hi):
+                continue
+            if not (y_lo <= pos.y + range_m
+                    and pos.y - range_m <= y_hi):
+                continue
+            dx = max(x_lo - pos.x, 0.0, pos.x - x_hi)
+            dy = max(y_lo - pos.y, 0.0, pos.y - y_hi)
+            if dx > 0.0 and dy > 0.0 and math.hypot(dx, dy) > range_m:
+                continue
+            want.append(s)
+        assert mirrors == want
+        assert owner not in mirrors
+        audible = plan.audible_shards(pos, range_m)
+        assert audible == sorted(set([owner] + mirrors))
+        # Soundness: the owner of any point within radio range of the
+        # sender is one of the audible shards.
+        if range_m:
+            r = data.draw(st.floats(0.0, range_m, allow_nan=False))
+            theta = data.draw(st.floats(0.0, 2 * math.pi,
+                                        allow_nan=False))
+            q = Vec2(pos.x + r * math.cos(theta),
+                     pos.y + r * math.sin(theta))
+            if q.distance_to(pos) <= range_m:
+                assert plan.shard_of(q) in audible
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(),
+           shards=st.integers(1, 6),
+           cell=st.floats(10.0, 200.0, allow_nan=False),
+           min_x=st.floats(-2000.0, 2000.0, allow_nan=False),
+           range_m=st.floats(0.0, 500.0, allow_nan=False))
+    def test_single_row_plan_is_bit_identical_to_the_stripe_plan(
+            self, data, shards, cell, min_x, range_m):
+        """rows=1 must reproduce the historical stripe predicates
+        exactly — including never consulting y."""
+        stripe_plan = ShardPlan(min_x=min_x,
+                                max_x=min_x + shards * cell + 1.0,
+                                shards=shards, cell_size=cell)
+        tiled = ShardPlan(min_x=min_x, max_x=min_x + shards * cell + 1.0,
+                          shards=shards, cell_size=cell, rows=1,
+                          min_y=-123.0, max_y=456.0)
+        assert tiled.columns == stripe_plan.columns
+        pos = Vec2(data.draw(st.floats(min_x - 500.0, min_x + 3000.0,
+                                       allow_nan=False)),
+                   data.draw(st.floats(-1e6, 1e6, allow_nan=False)))
+        assert tiled.shard_of(pos) == stripe_plan.shard_of(pos)
+        assert tiled.mirror_shards(pos, range_m) == \
+            stripe_plan.mirror_shards(pos, range_m)
+
+    def test_rows_must_divide_the_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardPlan(min_x=0.0, max_x=1000.0, shards=4, cell_size=100.0,
+                      rows=3, min_y=0.0, max_y=1000.0)
+
+    def test_tall_plans_need_a_y_extent(self):
+        with pytest.raises(ValueError):
+            ShardPlan(min_x=0.0, max_x=1000.0, shards=4, cell_size=100.0,
+                      rows=2)
+
+    def test_row_major_tile_layout(self):
+        plan = ShardPlan(min_x=0.0, max_x=400.0, shards=4,
+                         cell_size=100.0, rows=2, min_y=0.0, max_y=400.0)
+        assert plan.cols == 2
+        # Shards 0,1 share the low row band; 2,3 the high one.
+        assert plan.row_bands[0] == plan.row_bands[1]
+        assert plan.row_bands[2] == plan.row_bands[3]
+        assert plan.row_bands[0] != plan.row_bands[2]
+        # Shards 0,2 share the low column band; 1,3 the high one.
+        assert plan.columns[0] == plan.columns[2]
+        assert plan.columns[1] == plan.columns[3]
+        assert plan.shard_of(Vec2(50.0, 50.0)) == 0
+        assert plan.shard_of(Vec2(350.0, 50.0)) == 1
+        assert plan.shard_of(Vec2(50.0, 350.0)) == 2
+        assert plan.shard_of(Vec2(350.0, 350.0)) == 3
